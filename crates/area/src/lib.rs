@@ -1,0 +1,373 @@
+//! # noc-area — router/link area model and the sensor-wise overhead analysis
+//!
+//! Reproduces the paper's Section III-D feasibility argument. The paper uses
+//! ORION 2.0 for router and link area at 45 nm and the Singh et al. 45 nm
+//! synthesizable NBTI sensor, and reports:
+//!
+//! * **3.25 %** router-area overhead for the 16 NBTI sensors
+//!   (4 input ports × 4 VCs, one sensor per VC buffer, 64-bit flits,
+//!   4-flit buffers),
+//! * **3.8 %** link overhead for the `Up_Down` + `Down_Up` control wires
+//!   relative to a 64-bit data link,
+//! * negligible overhead for the Algorithm 2 / comparator logic,
+//! * a total below 4 % of the baseline NoC.
+//!
+//! This crate implements a transparent, parametric bottom-up model in the
+//! ORION spirit: register-based VC buffers (as in Garnet), a matrix
+//! crossbar, separable allocators and pipeline registers, wire-pitch-based
+//! links, and the published sensor footprint. Constants are documented in
+//! [`AreaParams`]; the derived percentages land where the paper's do and
+//! every intermediate number is exposed.
+//!
+//! ```
+//! use noc_area::{AreaParams, analyze};
+//!
+//! let report = analyze(&AreaParams::paper_45nm());
+//! // The paper's headline claims.
+//! assert!((report.sensors_percent_of_router - 3.25).abs() < 0.75);
+//! assert!((report.control_link_percent_of_link - 3.8).abs() < 0.5);
+//! assert!(report.total_overhead_percent < 5.0);
+//! ```
+
+pub mod power;
+
+use std::fmt;
+
+/// Technology and microarchitecture parameters of the area model.
+///
+/// All areas are in µm², lengths in µm, at the configured feature size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaParams {
+    /// Feature size in nanometres (areas scale with `(feature/45)²`).
+    pub feature_nm: f64,
+    /// Flit width in bits (paper: 64 for the area study).
+    pub flit_bits: usize,
+    /// Virtual channels per input port.
+    pub vcs: usize,
+    /// Buffer depth per VC in flits.
+    pub buffer_depth: usize,
+    /// Router ports (5 for a mesh router with a local port).
+    pub ports: usize,
+    /// Area of one flip-flop bit at 45 nm (register-based FIFO buffers, as
+    /// in Garnet's `flit_buffer`), in µm².
+    pub ff_area_um2: f64,
+    /// Area of one equivalent NAND2 gate at 45 nm, in µm².
+    pub gate_area_um2: f64,
+    /// Crossbar wire pitch at 45 nm (4 F), in µm.
+    pub crossbar_pitch_um: f64,
+    /// Global-link wire pitch at 45 nm, in µm.
+    pub wire_pitch_um: f64,
+    /// Inter-tile link length in µm (Tilera-style ~1 mm tiles).
+    pub link_length_um: f64,
+    /// One NBTI sensor (Singh et al., TCAS-I 2011, 45 nm synthesizable
+    /// multi-degradation sensor), in µm².
+    pub sensor_area_um2: f64,
+    /// Equivalent gate count of the Algorithm 2 + comparator logic added
+    /// per router (synthesized with NetMaker in the paper; "negligible").
+    pub policy_logic_gates: f64,
+}
+
+impl AreaParams {
+    /// The paper's Section III-D configuration: 45 nm, 64-bit flits,
+    /// 4 VCs × 4 flits, 5-port router.
+    pub fn paper_45nm() -> Self {
+        AreaParams {
+            feature_nm: 45.0,
+            flit_bits: 64,
+            vcs: 4,
+            buffer_depth: 4,
+            ports: 5,
+            ff_area_um2: 4.5,
+            gate_area_um2: 1.5,
+            crossbar_pitch_um: 0.18,
+            wire_pitch_um: 0.18,
+            link_length_um: 1000.0,
+            sensor_area_um2: 60.0,
+            policy_logic_gates: 120.0,
+        }
+    }
+
+    /// The same microarchitecture scaled to 32 nm.
+    pub fn paper_32nm() -> Self {
+        AreaParams {
+            feature_nm: 32.0,
+            ..Self::paper_45nm()
+        }
+    }
+
+    /// Linear dimension scale factor relative to 45 nm.
+    fn scale(&self) -> f64 {
+        self.feature_nm / 45.0
+    }
+
+    /// Area scale factor relative to 45 nm.
+    fn area_scale(&self) -> f64 {
+        self.scale() * self.scale()
+    }
+}
+
+impl Default for AreaParams {
+    fn default() -> Self {
+        Self::paper_45nm()
+    }
+}
+
+/// Bottom-up router area breakdown, in µm².
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouterArea {
+    /// Register-based VC buffers of all input ports.
+    pub buffers_um2: f64,
+    /// Matrix crossbar.
+    pub crossbar_um2: f64,
+    /// VC and switch allocators (round-robin arbiters).
+    pub allocators_um2: f64,
+    /// Inter-stage pipeline registers.
+    pub pipeline_um2: f64,
+}
+
+impl RouterArea {
+    /// Total router area.
+    pub fn total_um2(&self) -> f64 {
+        self.buffers_um2 + self.crossbar_um2 + self.allocators_um2 + self.pipeline_um2
+    }
+}
+
+impl fmt::Display for RouterArea {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "buffers   : {:>10.1} um^2", self.buffers_um2)?;
+        writeln!(f, "crossbar  : {:>10.1} um^2", self.crossbar_um2)?;
+        writeln!(f, "allocators: {:>10.1} um^2", self.allocators_um2)?;
+        writeln!(f, "pipeline  : {:>10.1} um^2", self.pipeline_um2)?;
+        write!(f, "total     : {:>10.1} um^2", self.total_um2())
+    }
+}
+
+/// The Section III-D overhead report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadReport {
+    /// Baseline router breakdown.
+    pub router: RouterArea,
+    /// One unidirectional data link.
+    pub link_um2: f64,
+    /// Sensors per router (`(ports − 1) × vcs` in the paper's 4-port
+    /// counting: one per VC buffer of the four mesh input ports).
+    pub num_sensors: usize,
+    /// Total sensor area per router.
+    pub sensors_um2: f64,
+    /// Sensor overhead as a percentage of the router (paper: 3.25 %).
+    pub sensors_percent_of_router: f64,
+    /// `Up_Down` wires: `⌈log2(vcs)⌉ + 1` (VC-ID + enable).
+    pub updown_wires: usize,
+    /// `Down_Up` wires: `⌈log2(vcs)⌉` (most-degraded VC-ID).
+    pub downup_wires: usize,
+    /// Control-wire overhead relative to the bidirectional 64-bit data
+    /// link pair (paper: 3.8 % "with respect to a single 64 bit data
+    /// link").
+    pub control_link_percent_of_link: f64,
+    /// Algorithm 2 + comparator logic per router.
+    pub policy_logic_um2: f64,
+    /// Logic overhead as a percentage of the router (paper: negligible).
+    pub policy_logic_percent: f64,
+    /// Total per-tile overhead: (sensors + control wires + logic) over
+    /// (router + the tile's share of data links), in percent
+    /// (paper: below 4 %).
+    pub total_overhead_percent: f64,
+}
+
+impl fmt::Display for OverheadReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "--- baseline router ---")?;
+        writeln!(f, "{}", self.router)?;
+        writeln!(
+            f,
+            "data link : {:>10.1} um^2 (per direction)",
+            self.link_um2
+        )?;
+        writeln!(f, "--- sensor-wise additions ---")?;
+        writeln!(
+            f,
+            "{} sensors: {:.1} um^2 = {:.2}% of the router (paper: 3.25%)",
+            self.num_sensors, self.sensors_um2, self.sensors_percent_of_router
+        )?;
+        writeln!(
+            f,
+            "control links: {}+{} wires = {:.2}% of a data-link pair (paper: 3.8%)",
+            self.updown_wires, self.downup_wires, self.control_link_percent_of_link
+        )?;
+        writeln!(
+            f,
+            "policy logic: {:.1} um^2 = {:.2}% of the router (paper: negligible)",
+            self.policy_logic_um2, self.policy_logic_percent
+        )?;
+        write!(
+            f,
+            "TOTAL overhead per tile: {:.2}% (paper: below 4%)",
+            self.total_overhead_percent
+        )
+    }
+}
+
+/// Area of one round-robin arbiter over `n` requesters: roughly a priority
+/// register bit plus a few gates of grant logic per requester.
+fn arbiter_um2(n: usize, p: &AreaParams) -> f64 {
+    n as f64 * (p.ff_area_um2 / 4.0 + 4.0 * p.gate_area_um2)
+}
+
+/// Computes the bottom-up router area.
+pub fn router_area(p: &AreaParams) -> RouterArea {
+    let s = p.area_scale();
+    let buffer_bits = (p.ports * p.vcs * p.buffer_depth * p.flit_bits) as f64;
+    let buffers = buffer_bits * p.ff_area_um2 * s;
+    // Matrix crossbar: (W × pitch)² wire grid per port pair.
+    let span = p.flit_bits as f64 * p.crossbar_pitch_um * p.scale();
+    let crossbar = span * span * (p.ports * p.ports) as f64;
+    // VC allocator: one arbiter per output port over ports×vcs requesters,
+    // switch allocator: input arbiters over vcs plus output arbiters over
+    // ports.
+    let va = p.ports as f64 * arbiter_um2(p.ports * p.vcs, p);
+    let sa = p.ports as f64 * (arbiter_um2(p.vcs, p) + arbiter_um2(p.ports, p));
+    let allocators = (va + sa) * s;
+    // Two ranks of pipeline registers on the datapath.
+    let pipeline = 2.0 * (p.ports * p.flit_bits) as f64 * p.ff_area_um2 * s;
+    RouterArea {
+        buffers_um2: buffers,
+        crossbar_um2: crossbar,
+        allocators_um2: allocators,
+        pipeline_um2: pipeline,
+    }
+}
+
+/// Area of one unidirectional `flit_bits`-wide link.
+pub fn link_area(p: &AreaParams) -> f64 {
+    p.flit_bits as f64 * p.wire_pitch_um * p.scale() * p.link_length_um
+}
+
+/// Runs the full Section III-D analysis.
+pub fn analyze(p: &AreaParams) -> OverheadReport {
+    let router = router_area(p);
+    let link = link_area(p);
+    // One sensor per VC buffer of the four mesh input ports (the paper's
+    // "16 sensors = 4 input-ports x 4 VCs").
+    let num_sensors = (p.ports - 1) * p.vcs;
+    let sensors = num_sensors as f64 * p.sensor_area_um2 * p.area_scale();
+    let vc_bits = (p.vcs as f64).log2().ceil().max(1.0) as usize;
+    let updown = vc_bits + 1;
+    let downup = vc_bits;
+    let wire_um2 = p.wire_pitch_um * p.scale() * p.link_length_um;
+    let control_wires_um2 = (updown + downup) as f64 * wire_um2;
+    let control_percent = control_wires_um2 / (2.0 * link) * 100.0;
+    let logic = p.policy_logic_gates * p.gate_area_um2 * p.area_scale();
+    // A tile owns its router plus (on average) half of its up-to-8
+    // unidirectional mesh links ≈ 4 link-directions; control wires are
+    // added per link pair on each of the 4 mesh ports.
+    let tile_baseline = router.total_um2() + 4.0 * link;
+    let tile_additions = sensors + logic + 4.0 * control_wires_um2 / 2.0;
+    OverheadReport {
+        router,
+        link_um2: link,
+        num_sensors,
+        sensors_um2: sensors,
+        sensors_percent_of_router: sensors / router.total_um2() * 100.0,
+        updown_wires: updown,
+        downup_wires: downup,
+        control_link_percent_of_link: control_percent,
+        policy_logic_um2: logic,
+        policy_logic_percent: logic / router.total_um2() * 100.0,
+        total_overhead_percent: tile_additions / tile_baseline * 100.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sensor_overhead_is_about_3_25_percent() {
+        let r = analyze(&AreaParams::paper_45nm());
+        assert!(
+            (r.sensors_percent_of_router - 3.25).abs() < 0.75,
+            "sensor overhead = {:.2}%",
+            r.sensors_percent_of_router
+        );
+        assert_eq!(r.num_sensors, 16);
+    }
+
+    #[test]
+    fn paper_control_link_overhead_is_about_3_8_percent() {
+        let r = analyze(&AreaParams::paper_45nm());
+        // 4 VCs: 3 Up_Down wires + 2 Down_Up wires over 2×64 data wires.
+        assert_eq!(r.updown_wires, 3);
+        assert_eq!(r.downup_wires, 2);
+        assert!(
+            (r.control_link_percent_of_link - 3.9).abs() < 0.2,
+            "link overhead = {:.2}%",
+            r.control_link_percent_of_link
+        );
+    }
+
+    #[test]
+    fn policy_logic_is_negligible() {
+        let r = analyze(&AreaParams::paper_45nm());
+        assert!(r.policy_logic_percent < 1.0);
+    }
+
+    #[test]
+    fn total_overhead_is_below_5_percent() {
+        let r = analyze(&AreaParams::paper_45nm());
+        assert!(
+            r.total_overhead_percent < 5.0 && r.total_overhead_percent > 1.0,
+            "total = {:.2}%",
+            r.total_overhead_percent
+        );
+    }
+
+    #[test]
+    fn router_breakdown_is_buffer_dominated() {
+        // Garnet-style register FIFO routers are buffer-dominated — the
+        // very reason the paper gates buffers.
+        let r = router_area(&AreaParams::paper_45nm());
+        assert!(r.buffers_um2 > r.crossbar_um2);
+        assert!(r.buffers_um2 > 0.5 * r.total_um2());
+    }
+
+    #[test]
+    fn areas_scale_quadratically_with_feature_size() {
+        let a45 = router_area(&AreaParams::paper_45nm()).total_um2();
+        let a32 = router_area(&AreaParams::paper_32nm()).total_um2();
+        let expect = (32.0f64 / 45.0).powi(2);
+        assert!((a32 / a45 - expect).abs() < 1e-9);
+        // Percent overheads are scale-invariant.
+        let r45 = analyze(&AreaParams::paper_45nm());
+        let r32 = analyze(&AreaParams::paper_32nm());
+        assert!((r45.sensors_percent_of_router - r32.sensors_percent_of_router).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overhead_percentages_respond_to_vc_count() {
+        let mut p = AreaParams::paper_45nm();
+        p.vcs = 2;
+        let r = analyze(&p);
+        assert_eq!(r.num_sensors, 8);
+        // log2(2)+1 = 2 Up_Down wires, 1 Down_Up wire.
+        assert_eq!(r.updown_wires, 2);
+        assert_eq!(r.downup_wires, 1);
+    }
+
+    #[test]
+    fn wider_flits_shrink_relative_link_overhead() {
+        let narrow = {
+            let mut p = AreaParams::paper_45nm();
+            p.flit_bits = 32;
+            analyze(&p).control_link_percent_of_link
+        };
+        let wide = analyze(&AreaParams::paper_45nm()).control_link_percent_of_link;
+        assert!(narrow > wide);
+    }
+
+    #[test]
+    fn display_mentions_paper_anchors() {
+        let text = analyze(&AreaParams::paper_45nm()).to_string();
+        assert!(text.contains("3.25%"), "{text}");
+        assert!(text.contains("paper: below 4%"), "{text}");
+    }
+}

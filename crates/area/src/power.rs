@@ -1,0 +1,241 @@
+//! ORION-style router power model and the leakage side-effect of NBTI
+//! gating.
+//!
+//! The paper gates idle VC buffers to *recover NBTI stress*; the very same
+//! header PMOS also cuts the buffer's leakage, so every recovery cycle is
+//! simultaneously a leakage saving. This module quantifies that side
+//! effect with a transparent bottom-up model in the ORION 2.0 spirit:
+//! per-bit flip-flop leakage, per-event dynamic energies, residual leakage
+//! through the sleep transistor, and the sensors' own power cost.
+//!
+//! ```
+//! use noc_area::power::{PowerParams, gating_power_report};
+//!
+//! // Duty cycles of the 16 mesh-port VC buffers of one router (fraction
+//! // of time powered), plus flits moved during the window.
+//! let duty = vec![0.2; 16];
+//! let report = gating_power_report(&PowerParams::paper_45nm(), &duty, 50_000, 1_000_000);
+//! assert!(report.leakage_saved_uw > 0.0);
+//! assert!(report.net_saving_percent > 0.0);
+//! ```
+
+use crate::AreaParams;
+
+/// Technology and microarchitecture parameters of the power model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerParams {
+    /// Microarchitecture (shared with the area model).
+    pub arch: AreaParams,
+    /// Clock frequency in Hz (paper: 1 GHz).
+    pub clock_hz: f64,
+    /// Leakage of one flip-flop bit at 45 nm, in nW.
+    pub ff_leakage_nw: f64,
+    /// Residual leakage fraction of a power-gated buffer (sleep-transistor
+    /// off-current, typically a few percent).
+    pub gated_residual: f64,
+    /// Dynamic energy of writing one flit into a buffer, in pJ.
+    pub buffer_write_pj: f64,
+    /// Dynamic energy of reading one flit from a buffer, in pJ.
+    pub buffer_read_pj: f64,
+    /// Dynamic energy of one crossbar traversal, in pJ.
+    pub crossbar_pj: f64,
+    /// Dynamic energy of one link traversal, in pJ.
+    pub link_pj: f64,
+    /// Static power of one NBTI sensor, in nW (the Singh sensor is
+    /// duty-cycled; this is its average draw).
+    pub sensor_nw: f64,
+    /// Switching energy of one sleep-transistor power state change, in pJ.
+    pub gate_switch_pj: f64,
+}
+
+impl PowerParams {
+    /// The paper's 45 nm operating point.
+    pub fn paper_45nm() -> Self {
+        PowerParams {
+            arch: AreaParams::paper_45nm(),
+            clock_hz: 1e9,
+            ff_leakage_nw: 20.0,
+            gated_residual: 0.05,
+            buffer_write_pj: 1.1,
+            buffer_read_pj: 0.9,
+            crossbar_pj: 1.3,
+            link_pj: 1.8,
+            sensor_nw: 150.0,
+            gate_switch_pj: 0.4,
+        }
+    }
+
+    /// Bits in one VC buffer.
+    pub fn bits_per_buffer(&self) -> usize {
+        self.arch.buffer_depth * self.arch.flit_bits
+    }
+
+    /// Leakage of one fully powered VC buffer, in µW.
+    pub fn buffer_leakage_uw(&self) -> f64 {
+        self.bits_per_buffer() as f64 * self.ff_leakage_nw * 1e-3
+    }
+
+    /// Leakage of the whole router's buffers (all ports, all VCs), in µW.
+    pub fn router_buffer_leakage_uw(&self) -> f64 {
+        (self.arch.ports * self.arch.vcs) as f64 * self.buffer_leakage_uw()
+    }
+}
+
+impl Default for PowerParams {
+    fn default() -> Self {
+        Self::paper_45nm()
+    }
+}
+
+/// Power outcome of running a set of VC buffers at measured duty cycles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GatingPowerReport {
+    /// Buffer leakage if every monitored buffer stayed powered, in µW.
+    pub leakage_baseline_uw: f64,
+    /// Actual buffer leakage at the measured duty cycles (gated buffers
+    /// still draw the residual), in µW.
+    pub leakage_actual_uw: f64,
+    /// Leakage saved by gating, in µW.
+    pub leakage_saved_uw: f64,
+    /// Dynamic power from moving the flits (write + read + crossbar +
+    /// link), in µW — identical across policies for identical traffic.
+    pub dynamic_uw: f64,
+    /// Average sensor power for one sensor per monitored buffer, in µW.
+    pub sensor_uw: f64,
+    /// Net buffer-subsystem saving vs. the always-on baseline, in percent
+    /// (sensor cost deducted).
+    pub net_saving_percent: f64,
+}
+
+/// Computes the power outcome for one router's monitored buffers.
+///
+/// * `duty` — fraction of time each buffer was powered (`α` per VC),
+/// * `flits` — flits transported through the router in the window,
+/// * `cycles` — window length in cycles.
+///
+/// # Panics
+///
+/// Panics if `cycles` is zero or any duty value is outside `[0, 1]`.
+pub fn gating_power_report(
+    p: &PowerParams,
+    duty: &[f64],
+    flits: u64,
+    cycles: u64,
+) -> GatingPowerReport {
+    assert!(cycles > 0, "window must be at least one cycle");
+    for &d in duty {
+        assert!((0.0..=1.0).contains(&d), "duty {d} outside [0, 1]");
+    }
+    let per_buffer = p.buffer_leakage_uw();
+    let baseline = duty.len() as f64 * per_buffer;
+    let actual: f64 = duty
+        .iter()
+        .map(|&d| per_buffer * (d + (1.0 - d) * p.gated_residual))
+        .sum();
+    let seconds = cycles as f64 / p.clock_hz;
+    let per_flit_pj = p.buffer_write_pj + p.buffer_read_pj + p.crossbar_pj + p.link_pj;
+    let dynamic_uw = flits as f64 * per_flit_pj * 1e-12 / seconds * 1e6;
+    let sensor_uw = duty.len() as f64 * p.sensor_nw * 1e-3;
+    let saved = baseline - actual;
+    let net_saving_percent = if baseline > 0.0 {
+        (saved - sensor_uw) / baseline * 100.0
+    } else {
+        0.0
+    };
+    GatingPowerReport {
+        leakage_baseline_uw: baseline,
+        leakage_actual_uw: actual,
+        leakage_saved_uw: saved,
+        dynamic_uw,
+        sensor_uw,
+        net_saving_percent,
+    }
+}
+
+impl std::fmt::Display for GatingPowerReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "buffer leakage: {:.1} uW always-on -> {:.1} uW gated ({:.1} uW saved)",
+            self.leakage_baseline_uw, self.leakage_actual_uw, self.leakage_saved_uw
+        )?;
+        writeln!(
+            f,
+            "dynamic (traffic) power: {:.1} uW; sensor cost: {:.2} uW",
+            self.dynamic_uw, self.sensor_uw
+        )?;
+        write!(
+            f,
+            "net buffer leakage saving: {:.1}%",
+            self.net_saving_percent
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> PowerParams {
+        PowerParams::paper_45nm()
+    }
+
+    #[test]
+    fn always_on_saves_nothing_but_pays_sensors() {
+        let r = gating_power_report(&p(), &[1.0; 16], 1000, 10_000);
+        assert!((r.leakage_saved_uw).abs() < 1e-9);
+        assert!(r.net_saving_percent < 0.0, "sensors cost power");
+    }
+
+    #[test]
+    fn fully_gated_saves_all_but_residual() {
+        let r = gating_power_report(&p(), &[0.0; 16], 0, 10_000);
+        let expect = r.leakage_baseline_uw * (1.0 - p().gated_residual);
+        assert!((r.leakage_saved_uw - expect).abs() < 1e-9);
+        assert!(r.net_saving_percent > 80.0);
+    }
+
+    #[test]
+    fn saving_scales_linearly_with_duty() {
+        let half = gating_power_report(&p(), &[0.5; 16], 0, 1000);
+        let quarter = gating_power_report(&p(), &[0.25; 16], 0, 1000);
+        assert!(quarter.leakage_saved_uw > half.leakage_saved_uw);
+        let ratio = quarter.leakage_saved_uw / half.leakage_saved_uw;
+        assert!((ratio - 1.5).abs() < 1e-9, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn dynamic_power_tracks_traffic() {
+        let light = gating_power_report(&p(), &[0.5; 4], 100, 10_000);
+        let heavy = gating_power_report(&p(), &[0.5; 4], 1_000, 10_000);
+        assert!((heavy.dynamic_uw / light.dynamic_uw - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn buffer_leakage_magnitudes_are_plausible() {
+        // 4 flits x 64 bits x 20 nW = 5.12 uW per buffer; ~100 uW per
+        // router's 20 buffers — the ballpark ORION reports at 45 nm.
+        let params = p();
+        assert!((params.buffer_leakage_uw() - 5.12).abs() < 1e-9);
+        assert!((params.router_buffer_leakage_uw() - 102.4).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn bad_duty_panics() {
+        let _ = gating_power_report(&p(), &[1.2], 0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cycle")]
+    fn zero_window_panics() {
+        let _ = gating_power_report(&p(), &[0.5], 0, 0);
+    }
+
+    #[test]
+    fn display_summarises() {
+        let r = gating_power_report(&p(), &[0.3; 8], 500, 10_000);
+        let s = r.to_string();
+        assert!(s.contains("net buffer leakage saving"), "{s}");
+    }
+}

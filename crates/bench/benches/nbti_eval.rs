@@ -1,0 +1,59 @@
+//! NBTI model evaluation costs: the Eq. 1 closed form, the tracked
+//! (power-law-anchored) variant, sensor sampling and process-variation
+//! draws. These sit on the per-cycle path of the sensor-wise experiments,
+//! so their cost bounds how often the `Down_Up` election can refresh.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use nbti_model::{
+    IdealSensor, LongTermModel, NbtiParams, NbtiSensor, ProcessVariation, QuantizedSensor, Volt,
+};
+use std::hint::black_box;
+
+fn bench_model(c: &mut Criterion) {
+    let model = LongTermModel::calibrated_45nm();
+    c.bench_function("delta_vth_closed_form", |b| {
+        b.iter(|| model.delta_vth(black_box(0.37), black_box(NbtiParams::TEN_YEARS_S)))
+    });
+    c.bench_function("delta_vth_tracked_short_time", |b| {
+        b.iter(|| model.delta_vth_tracked(black_box(0.37), black_box(0.02)))
+    });
+    c.bench_function("saving_percent", |b| {
+        b.iter(|| model.saving_percent(black_box(0.1), black_box(1.0), NbtiParams::TEN_YEARS_S))
+    });
+}
+
+fn bench_sensors(c: &mut Criterion) {
+    c.bench_function("ideal_sensor_sample", |b| {
+        let mut s = IdealSensor::new();
+        let mut cycle = 0u64;
+        b.iter(|| {
+            cycle += 1;
+            s.sample(black_box(Volt::from_volts(0.183)), cycle)
+        })
+    });
+    c.bench_function("quantized_sensor_sample_every_cycle", |b| {
+        let mut s = QuantizedSensor::singh_45nm(1, 7);
+        let mut cycle = 0u64;
+        b.iter(|| {
+            cycle += 1;
+            s.sample(black_box(Volt::from_volts(0.183)), cycle)
+        })
+    });
+}
+
+fn bench_variation(c: &mut Criterion) {
+    c.bench_function("pv_sample_port_of_4", |b| {
+        b.iter_batched(
+            || ProcessVariation::paper_45nm(9),
+            |mut pv| pv.sample_port(black_box(4)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_model, bench_sensors, bench_variation
+}
+criterion_main!(benches);

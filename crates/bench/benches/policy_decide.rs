@@ -1,0 +1,54 @@
+//! Per-decision cost of each gating policy — the software model of the
+//! pre-VA combinational logic the paper synthesizes with NetMaker (and
+//! finds negligible in area; here we show it is also negligible in time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use noc_sim::types::{Direction, NodeId};
+use noc_sim::view::{PortId, PortView, VcStatus};
+use sensorwise::policy::PolicyKind;
+use std::hint::black_box;
+
+fn view(num_vcs: usize, busy_mask: usize, new_traffic: bool) -> PortView {
+    PortView {
+        port: PortId::router_input(NodeId(0), Direction::East),
+        vc_status: (0..num_vcs)
+            .map(|v| {
+                if busy_mask & (1 << v) != 0 {
+                    VcStatus::Busy
+                } else if v % 2 == 0 {
+                    VcStatus::IdleOn
+                } else {
+                    VcStatus::Off
+                }
+            })
+            .collect(),
+        new_traffic,
+    }
+}
+
+fn bench_decide(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_decide");
+    for vcs in [2usize, 4, 8] {
+        let views = [
+            view(vcs, 0, true),
+            view(vcs, 0b1, true),
+            view(vcs, (1 << vcs) - 1, true),
+            view(vcs, 0, false),
+        ];
+        for kind in PolicyKind::ALL {
+            group.bench_with_input(BenchmarkId::new(kind.label(), vcs), &kind, |b, &kind| {
+                let mut policy = kind.build(1);
+                let mut cycle = 0u64;
+                b.iter(|| {
+                    cycle += 1;
+                    let v = &views[(cycle % 4) as usize];
+                    policy.decide(cycle, black_box(v), black_box((cycle as usize) % vcs))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decide);
+criterion_main!(benches);

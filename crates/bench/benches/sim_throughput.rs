@@ -1,0 +1,64 @@
+//! Simulator throughput: cycles/second of the full experiment loop
+//! (traffic + network + policy + NBTI accounting) for each policy and mesh
+//! size. This is the cost of regenerating the paper's tables; it also
+//! quantifies the overhead each policy adds to the control path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use noc_sim::config::NocConfig;
+use noc_sim::topology::Mesh2D;
+use noc_traffic::synthetic::SyntheticTraffic;
+use sensorwise::{run_experiment, ExperimentConfig, PolicyKind};
+
+fn bench_policies(c: &mut Criterion) {
+    let cycles = 2_000u64;
+    let mut group = c.benchmark_group("experiment_loop");
+    group.throughput(Throughput::Elements(cycles));
+    for cores in [4usize, 16] {
+        for policy in PolicyKind::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{cores}core"), policy.label()),
+                &(cores, policy),
+                |b, &(cores, policy)| {
+                    b.iter(|| {
+                        let noc = NocConfig::paper_synthetic(cores, 2);
+                        let mesh = Mesh2D::new(noc.cols, noc.rows);
+                        let mut traffic =
+                            SyntheticTraffic::uniform(mesh, 0.3, noc.flits_per_packet, 1);
+                        let cfg = ExperimentConfig::new(noc, policy).with_cycles(0, cycles);
+                        run_experiment(&cfg, &mut traffic)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_raw_network(c: &mut Criterion) {
+    let cycles = 5_000u64;
+    let mut group = c.benchmark_group("raw_network_step");
+    group.throughput(Throughput::Elements(cycles));
+    for cores in [4usize, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(cores), &cores, |b, &cores| {
+            b.iter(|| {
+                let noc = NocConfig::paper_synthetic(cores, 4);
+                let mesh = Mesh2D::new(noc.cols, noc.rows);
+                let mut traffic = SyntheticTraffic::uniform(mesh, 0.3, noc.flits_per_packet, 1);
+                let mut net = noc_sim::network::Network::new(noc).unwrap();
+                for _ in 0..cycles {
+                    noc_traffic::source::inject_from(&mut traffic, &mut net);
+                    net.step();
+                }
+                net.stats().packets_ejected
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_policies, bench_raw_network
+}
+criterion_main!(benches);

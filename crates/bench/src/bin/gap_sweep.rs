@@ -1,0 +1,55 @@
+//! The gap-versus-load figure behind the paper's Table II/III trend
+//! discussion (and the evidence for the `LOAD_CALIBRATION` factor, see
+//! EXPERIMENTS.md): sweeps the *raw* injection rate from light load to
+//! saturation and reports the rr − sensor-wise duty gap on the most
+//! degraded VC for 2 and 4 VCs.
+//!
+//! Expected shape (matching the paper): with 2 VCs the gap rises, peaks
+//! and *shrinks* once the network congests (Table III's declining Gap
+//! column); with 4 VCs it keeps growing far longer (Table II's rising Gap
+//! column).
+
+use nbti_noc_bench::RunOptions;
+use sensorwise::sweep::{gap_peak, gap_sweep};
+
+fn main() {
+    let opts = RunOptions::parse(std::env::args().skip(1));
+    let scaled = RunOptions {
+        measure: opts.measure.min(60_000),
+        ..opts
+    };
+    eprintln!("[gap_sweep] sweeping raw injection rates with {scaled}");
+    let rates = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+    let two = gap_sweep(4, 2, &rates, scaled.warmup, scaled.measure, scaled.seed);
+    let four = gap_sweep(4, 4, &rates, scaled.warmup, scaled.measure, scaled.seed);
+
+    println!("=== Gap vs raw injection rate (4-core mesh, router 0 east input) ===");
+    println!(
+        "{:>5} | {:>9} {:>9} {:>7} {:>8} | {:>9} {:>9} {:>7}",
+        "rate", "rr2 MD", "sw2 MD", "gap2", "sw2 lat", "rr4 MD", "sw4 MD", "gap4"
+    );
+    for (p2, p4) in two.iter().zip(&four) {
+        println!(
+            "{:>5.2} | {:>8.1}% {:>8.1}% {:>6.1}% {:>8.1} | {:>8.1}% {:>8.1}% {:>6.1}%",
+            p2.rate,
+            p2.rr_md_duty,
+            p2.sw_md_duty,
+            p2.gap,
+            p2.sw_latency,
+            p4.rr_md_duty,
+            p4.sw_md_duty,
+            p4.gap
+        );
+    }
+    let peak2 = gap_peak(&two).expect("non-empty sweep");
+    let peak4 = gap_peak(&four).expect("non-empty sweep");
+    println!(
+        "\npeak gaps: 2 VCs {:.1}% at rate {:.2}; 4 VCs {:.1}% at rate {:.2}",
+        peak2.gap, peak2.rate, peak4.gap, peak4.rate
+    );
+    println!(
+        "expected shape: gap2 peaks and then falls as congestion removes the\n\
+         gating headroom (the paper's Table III trend); gap4 keeps rising to a\n\
+         ~25% peak (Table II, up to 26.6% in the paper)."
+    );
+}

@@ -1,0 +1,62 @@
+//! Leakage side-effect of NBTI gating (extension): every recovery cycle
+//! also cuts the buffer's leakage through the same header PMOS. This
+//! binary reruns a synthetic scenario under each policy and feeds the
+//! measured duty cycles into the ORION-style power model.
+
+use nbti_noc_bench::RunOptions;
+use noc_area::power::{gating_power_report, PowerParams};
+use sensorwise::{PolicyKind, SyntheticScenario};
+
+fn main() {
+    let opts = RunOptions::from_env();
+    let scaled = RunOptions {
+        measure: opts.measure.min(80_000),
+        ..opts
+    };
+    eprintln!("[power_savings] {scaled}");
+    let scenario = SyntheticScenario {
+        cores: 16,
+        vcs: 4,
+        injection_rate: 0.2,
+    };
+    let mut params = PowerParams::paper_45nm();
+    params.arch.vcs = scenario.vcs;
+    println!(
+        "=== Network-wide buffer leakage under gating ({}, {} VCs) ===\n",
+        scenario.name(),
+        scenario.vcs
+    );
+    println!(
+        "{:<24} {:>12} {:>12} {:>12} {:>10}",
+        "policy", "always-on", "actual", "saved", "net"
+    );
+    for policy in PolicyKind::ALL {
+        let r = scenario.run(policy, scaled.warmup, scaled.measure);
+        // Every monitored VC buffer in the network, with its duty cycle.
+        let duty: Vec<f64> = r
+            .ports
+            .iter()
+            .flat_map(|p| p.duty_percent.iter().map(|d| d / 100.0))
+            .collect();
+        // One buffer write per flit per hop: the sum of flits received
+        // across all buffer ports is exactly the dynamic event count.
+        let flit_hops: u64 = r.ports.iter().map(|p| p.flits_received).sum();
+        let report = gating_power_report(&params, &duty, flit_hops, r.measured_cycles);
+        println!(
+            "{:<24} {:>9.1} uW {:>9.1} uW {:>9.1} uW {:>9.1}%",
+            policy.label(),
+            report.leakage_baseline_uw,
+            report.leakage_actual_uw,
+            report.leakage_saved_uw,
+            report.net_saving_percent
+        );
+    }
+    println!(
+        "\nreading: the paper's NBTI recovery doubles as leakage gating. The\n\
+         traffic-aware policies (rr-no-sensor and sensor-wise) save the same\n\
+         total leakage — both keep exactly one idle buffer per busy port —\n\
+         while sensor-wise additionally redistributes WHICH buffer stays\n\
+         powered, which is where the NBTI gain comes from. The no-traffic\n\
+         variant wastes leakage by keeping a buffer awake on silent ports."
+    );
+}

@@ -1,0 +1,19 @@
+//! Regenerates the paper's **Table II**: NBTI-duty-cycle (%) for all VCs
+//! using the rr-no-sensor, sensor-wise-no-traffic and sensor-wise policies,
+//! on 4- and 16-core meshes with 4 VCs and injection rates 0.1/0.2/0.3
+//! flits/cycle/port, sampled on the upper-left router's east input port.
+
+use nbti_noc_bench::RunOptions;
+use sensorwise::tables::synthetic_table;
+
+fn main() {
+    let opts = RunOptions::from_env();
+    eprintln!("[table2] regenerating Table II with {opts}");
+    let table = synthetic_table(4, opts.warmup, opts.measure);
+    println!("=== Table II (4 VCs) ===");
+    print!("{}", table.render());
+    println!(
+        "Best MD-VC gap in this table: {:.1}% (paper's Table II best: 26.6%)",
+        table.best_gap()
+    );
+}

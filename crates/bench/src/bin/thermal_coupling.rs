@@ -1,0 +1,82 @@
+//! Temperature-coupled NBTI evaluation (extension).
+//!
+//! The paper evaluates Eq. 1 at a fixed operating temperature. In reality
+//! gating also reduces leakage power, which lowers the tile temperature,
+//! which — through the Arrhenius `C(T)` term — slows NBTI further. This
+//! binary closes that loop with the first-order thermal model: measured
+//! duty cycles → leakage power → steady-state tile temperature → ΔVth at
+//! that temperature.
+
+use nbti_model::thermal::{ThermalNode, ThermalParams};
+use nbti_model::{LongTermModel, NbtiParams};
+use nbti_noc_bench::RunOptions;
+use noc_area::power::{gating_power_report, PowerParams};
+use sensorwise::{PolicyKind, SyntheticScenario};
+
+fn main() {
+    let opts = RunOptions::from_env();
+    let scaled = RunOptions {
+        measure: opts.measure.min(80_000),
+        ..opts
+    };
+    eprintln!("[thermal_coupling] {scaled}");
+    let scenario = SyntheticScenario {
+        cores: 16,
+        vcs: 4,
+        injection_rate: 0.2,
+    };
+    let mut power_params = PowerParams::paper_45nm();
+    power_params.arch.vcs = scenario.vcs;
+    // Baseline tile power besides NoC buffers (core + caches), so the
+    // buffer leakage delta moves the temperature realistically.
+    let tile_base_w = 0.8;
+
+    println!(
+        "=== Temperature-coupled 10-year ΔVth on the MD VC ({}) ===\n",
+        scenario.name()
+    );
+    println!(
+        "{:<24} {:>8} {:>10} {:>10} {:>12} {:>12}",
+        "policy", "MD duty", "buffers", "tile T", "ΔVth fixed", "ΔVth coupled"
+    );
+    for policy in PolicyKind::ALL {
+        let r = scenario.run(policy, scaled.warmup, scaled.measure);
+        let port = r.east_input(noc_sim::types::NodeId(0));
+        let duty: Vec<f64> = r
+            .ports
+            .iter()
+            .flat_map(|p| p.duty_percent.iter().map(|d| d / 100.0))
+            .collect();
+        let flit_hops: u64 = r.ports.iter().map(|p| p.flits_received).sum();
+        let report = gating_power_report(&power_params, &duty, flit_hops, r.measured_cycles);
+        // Per-tile buffer power (the network total divided over tiles).
+        let buffers_w = (report.leakage_actual_uw + report.dynamic_uw) * 1e-6 / 16.0;
+        let node = ThermalNode::new(ThermalParams::typical_tile());
+        let t_k = node.steady_state_k(tile_base_w + buffers_w);
+
+        let fixed_model = LongTermModel::calibrated_45nm();
+        let mut coupled_params = *fixed_model.params();
+        coupled_params.temperature_k = t_k;
+        let coupled_model = LongTermModel::new(coupled_params);
+
+        let alpha = port.md_duty() / 100.0;
+        let fixed = fixed_model.delta_vth(alpha, NbtiParams::TEN_YEARS_S);
+        let coupled = coupled_model.delta_vth(alpha, NbtiParams::TEN_YEARS_S);
+        println!(
+            "{:<24} {:>7.1}% {:>7.1} uW {:>9.2} K {:>9.1} mV {:>9.1} mV",
+            policy.label(),
+            port.md_duty(),
+            report.leakage_actual_uw / 16.0,
+            t_k,
+            fixed.as_millivolts(),
+            coupled.as_millivolts()
+        );
+    }
+    println!(
+        "\nreading: the buffer-leakage delta between policies moves the tile\n\
+         temperature only slightly (buffers are a small share of tile power),\n\
+         so the duty-cycle reduction — not the thermal feedback — carries the\n\
+         paper's NBTI saving. The coupling becomes relevant for buffer-rich\n\
+         designs or higher thermal resistance."
+    );
+}

@@ -1,0 +1,141 @@
+//! Shared helpers for the table-regeneration binaries.
+//!
+//! Every binary accepts the same flags:
+//!
+//! * `--measure <cycles>` — measured cycles per run,
+//! * `--warmup <cycles>` — warm-up cycles discarded before measuring,
+//! * `--iterations <n>` — benchmark-mix iterations (Table IV only),
+//! * `--seed <n>` — base seed.
+//!
+//! Defaults are sized so the full table regenerates in minutes on a laptop;
+//! pass the paper's `--measure 30000000` for the full-length runs.
+
+use std::fmt;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Measured cycles per experiment run.
+    pub measure: u64,
+    /// Warm-up cycles per experiment run.
+    pub warmup: u64,
+    /// Iterations for averaged experiments.
+    pub iterations: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            measure: 200_000,
+            warmup: 20_000,
+            iterations: 10,
+            seed: 0xDA7E_2013,
+        }
+    }
+}
+
+impl fmt::Display for RunOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "warmup={} measure={} iterations={} seed={:#x}",
+            self.warmup, self.measure, self.iterations, self.seed
+        )
+    }
+}
+
+impl RunOptions {
+    /// Parses options from an iterator of arguments (usually
+    /// `std::env::args().skip(1)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut opts = RunOptions::default();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let mut next_u64 = |name: &str| -> u64 {
+                it.next()
+                    .unwrap_or_else(|| panic!("{name} requires a value"))
+                    .parse()
+                    .unwrap_or_else(|e| panic!("bad value for {name}: {e}"))
+            };
+            match flag.as_str() {
+                "--measure" => opts.measure = next_u64("--measure"),
+                "--warmup" => opts.warmup = next_u64("--warmup"),
+                "--iterations" => opts.iterations = next_u64("--iterations") as usize,
+                "--seed" => opts.seed = next_u64("--seed"),
+                "--help" | "-h" => {
+                    println!(
+                        "flags: --measure <cycles> --warmup <cycles> --iterations <n> --seed <n>"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag `{other}` (try --help)"),
+            }
+        }
+        opts
+    }
+
+    /// Parses from the process arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// A scaled-down copy for quick runs (used by tests).
+    pub fn quick() -> Self {
+        RunOptions {
+            measure: 10_000,
+            warmup: 1_000,
+            iterations: 2,
+            seed: 7,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> RunOptions {
+        RunOptions::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_without_flags() {
+        assert_eq!(parse(&[]), RunOptions::default());
+    }
+
+    #[test]
+    fn flags_override_defaults() {
+        let o = parse(&[
+            "--measure",
+            "5000",
+            "--warmup",
+            "100",
+            "--iterations",
+            "3",
+            "--seed",
+            "9",
+        ]);
+        assert_eq!(o.measure, 5000);
+        assert_eq!(o.warmup, 100);
+        assert_eq!(o.iterations, 3);
+        assert_eq!(o.seed, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        let _ = parse(&["--bogus"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a value")]
+    fn missing_value_panics() {
+        let _ = parse(&["--measure"]);
+    }
+}

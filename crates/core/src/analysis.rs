@@ -1,0 +1,150 @@
+//! Headline extractions from the measured duty cycles.
+//!
+//! * [`vth_saving_rows`] — experiment E5: the *net NBTI `Vth` saving*
+//!   of the sensor-wise policy against the NBTI-unaware baseline
+//!   (`α = 1`), obtained by pushing the measured duty cycles through the
+//!   Eq. 1 long-term model at a ten-year horizon. The paper reports up to
+//!   54.2 %.
+//! * [`cooperative_gain_rows`] — experiment E6: the duty-cycle reduction
+//!   on the most degraded VC that *traffic information* buys
+//!   (sensor-wise-no-traffic − sensor-wise). The paper reports up to 23 %.
+
+use crate::policy::PolicyKind;
+use crate::tables::{SyntheticRow, SyntheticTable};
+use nbti_model::{vth_saving_percent, LongTermModel};
+
+/// E5: one scenario's ten-year `Vth` saving on the most degraded VC.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VthSavingRow {
+    /// Scenario name.
+    pub scenario: String,
+    /// Measured sensor-wise duty cycle on the MD VC (fraction).
+    pub alpha_sensor_wise: f64,
+    /// Measured rr-no-sensor duty cycle on the MD VC (fraction).
+    pub alpha_rr: f64,
+    /// Ten-year ΔVth saving of sensor-wise vs. the `α = 1` baseline, in
+    /// percent.
+    pub saving_vs_baseline: f64,
+    /// Ten-year ΔVth saving of rr-no-sensor vs. the `α = 1` baseline.
+    pub rr_saving_vs_baseline: f64,
+}
+
+/// Computes the E5 rows for every scenario of a synthetic table.
+pub fn vth_saving_rows(table: &SyntheticTable, model: &LongTermModel) -> Vec<VthSavingRow> {
+    table
+        .rows
+        .iter()
+        .map(|row| {
+            let md = row.md_vc;
+            let a_sw = row.duty_of(PolicyKind::SensorWise)[md] / 100.0;
+            let a_rr = row.duty_of(PolicyKind::RrNoSensor)[md] / 100.0;
+            VthSavingRow {
+                scenario: row.scenario.name(),
+                alpha_sensor_wise: a_sw,
+                alpha_rr: a_rr,
+                saving_vs_baseline: vth_saving_percent(model, a_sw),
+                rr_saving_vs_baseline: vth_saving_percent(model, a_rr),
+            }
+        })
+        .collect()
+}
+
+/// The best (largest) ten-year saving across scenarios — the paper's
+/// "up to 54.2 %" headline.
+pub fn best_vth_saving(rows: &[VthSavingRow]) -> f64 {
+    rows.iter()
+        .map(|r| r.saving_vs_baseline)
+        .fold(f64::MIN, f64::max)
+}
+
+/// E6: one scenario's cooperative gain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CooperativeRow {
+    /// Scenario name.
+    pub scenario: String,
+    /// Duty cycle of the MD VC without traffic information (percent).
+    pub no_traffic_md_duty: f64,
+    /// Duty cycle of the MD VC with traffic information (percent).
+    pub with_traffic_md_duty: f64,
+    /// Reduction bought by cooperation (percentage points).
+    pub gain: f64,
+}
+
+/// Computes the E6 rows for every scenario of a synthetic table.
+pub fn cooperative_gain_rows(table: &SyntheticTable) -> Vec<CooperativeRow> {
+    table.rows.iter().map(cooperative_gain_row).collect()
+}
+
+fn cooperative_gain_row(row: &SyntheticRow) -> CooperativeRow {
+    let md = row.md_vc;
+    let without = row.duty_of(PolicyKind::SensorWiseNoTraffic)[md];
+    let with = row.duty_of(PolicyKind::SensorWise)[md];
+    CooperativeRow {
+        scenario: row.scenario.name(),
+        no_traffic_md_duty: without,
+        with_traffic_md_duty: with,
+        gain: without - with,
+    }
+}
+
+/// The best cooperative gain across scenarios — the paper's "up to 23 %"
+/// headline.
+pub fn best_cooperative_gain(rows: &[CooperativeRow]) -> f64 {
+    rows.iter().map(|r| r.gain).fold(f64::MIN, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::SyntheticScenario;
+    use crate::tables::synthetic_row;
+
+    fn small_table() -> SyntheticTable {
+        SyntheticTable {
+            vcs: 2,
+            rows: vec![synthetic_row(
+                SyntheticScenario {
+                    cores: 4,
+                    vcs: 2,
+                    injection_rate: 0.1,
+                },
+                1_000,
+                8_000,
+            )],
+        }
+    }
+
+    #[test]
+    fn savings_are_positive_and_ordered() {
+        let table = small_table();
+        let model = LongTermModel::calibrated_45nm();
+        let rows = vth_saving_rows(&table, &model);
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert!(
+            r.saving_vs_baseline > 0.0,
+            "saving = {}",
+            r.saving_vs_baseline
+        );
+        assert!(
+            r.saving_vs_baseline >= r.rr_saving_vs_baseline,
+            "sensor-wise ({}) must save at least as much as rr ({})",
+            r.saving_vs_baseline,
+            r.rr_saving_vs_baseline
+        );
+        assert!(best_vth_saving(&rows) >= r.saving_vs_baseline - 1e-12);
+    }
+
+    #[test]
+    fn cooperation_reduces_md_duty() {
+        let table = small_table();
+        let rows = cooperative_gain_rows(&table);
+        assert_eq!(rows.len(), 1);
+        assert!(
+            rows[0].gain > 0.0,
+            "traffic information must help: {:?}",
+            rows[0]
+        );
+        assert_eq!(best_cooperative_gain(&rows), rows[0].gain);
+    }
+}

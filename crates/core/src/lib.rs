@@ -1,0 +1,49 @@
+//! # sensorwise — the DATE 2013 sensor-wise NBTI mitigation methodology
+//!
+//! This crate implements the paper's contribution on top of the `noc-sim`
+//! substrate and the `nbti-model` physics:
+//!
+//! * [`policy`] — the pre-VA gating policies: the NBTI-unaware baseline,
+//!   Algorithm 1 (*rr-no-sensor*), and Algorithm 2 (*sensor-wise*, with and
+//!   without traffic information),
+//! * [`monitor`] — per-port NBTI bookkeeping: process-variation `Vth`
+//!   sampling, per-VC age trackers, and the sensor election carried by the
+//!   `Down_Up` link,
+//! * [`experiment`] — the cycle loop tying traffic, network, policies and
+//!   monitors together, plus the paper's synthetic scenarios,
+//! * [`tables`] — builders that regenerate the paper's Tables II, III and
+//!   IV and render them as text,
+//! * [`analysis`] — the headline extractions: activity-factor gaps, the
+//!   ten-year `Vth` saving versus the baseline (E5), and the cooperative
+//!   gain of traffic information (E6),
+//! * [`sweep`] — gap-versus-load sweeps and saturation-point analysis.
+//!
+//! # Example
+//!
+//! ```
+//! use sensorwise::experiment::SyntheticScenario;
+//! use sensorwise::policy::PolicyKind;
+//!
+//! let scenario = SyntheticScenario { cores: 4, vcs: 2, injection_rate: 0.1 };
+//! let rr = scenario.run(PolicyKind::RrNoSensor, 500, 3_000);
+//! let sw = scenario.run(PolicyKind::SensorWise, 500, 3_000);
+//! let port = rr.east_input(noc_sim::types::NodeId(0));
+//! let md = port.md_vc;
+//! // The sensor-wise policy reduces the most degraded VC's duty cycle.
+//! assert!(sw.east_input(noc_sim::types::NodeId(0)).duty_percent[md]
+//!     <= port.duty_percent[md]);
+//! ```
+
+pub mod analysis;
+pub mod experiment;
+pub mod monitor;
+pub mod policy;
+pub mod sweep;
+pub mod tables;
+
+pub use experiment::{
+    run_experiment, ExperimentConfig, ExperimentResult, PortResult, SensorModel, SyntheticScenario,
+    LOAD_CALIBRATION,
+};
+pub use monitor::NbtiMonitor;
+pub use policy::{BaselinePolicy, GatingPolicy, PolicyKind, RrNoSensorPolicy, SensorWisePolicy};

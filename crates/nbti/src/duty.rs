@@ -1,0 +1,225 @@
+//! NBTI stress/recovery accounting and the *NBTI-duty-cycle* metric.
+//!
+//! The paper (Section III-A) defines:
+//!
+//! ```text
+//! NBTI-duty-cycle := stress-cycles / (stress-cycles + recovery-cycles) * 100
+//! ```
+//!
+//! A VC buffer is in the **stress** phase whenever it is powered — storing at
+//! least one flit *or* idle from the NoC point of view (its inputs still carry
+//! a meaningless configuration vector). It is in the **recovery** phase only
+//! when power-gated off.
+
+use std::fmt;
+
+/// NBTI phase of a PMOS device (or of the buffer it represents) during one
+/// clock cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StressState {
+    /// The device is powered: `Vgs = -Vdd` on the PMOS, traps accumulate.
+    Stressed,
+    /// The device is power-gated off: interface traps partially anneal.
+    Recovering,
+}
+
+impl fmt::Display for StressState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StressState::Stressed => write!(f, "stressed"),
+            StressState::Recovering => write!(f, "recovering"),
+        }
+    }
+}
+
+/// Accumulates stress and recovery cycles for one monitored buffer.
+///
+/// ```
+/// use nbti_model::duty::{DutyCycleCounter, StressState};
+///
+/// let mut duty = DutyCycleCounter::new();
+/// duty.record(StressState::Stressed);
+/// duty.record(StressState::Stressed);
+/// duty.record(StressState::Recovering);
+/// duty.record(StressState::Recovering);
+/// assert_eq!(duty.total_cycles(), 4);
+/// assert!((duty.duty_cycle_percent() - 50.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DutyCycleCounter {
+    stress_cycles: u64,
+    recovery_cycles: u64,
+}
+
+impl DutyCycleCounter {
+    /// Creates a counter with no recorded cycles.
+    pub const fn new() -> Self {
+        DutyCycleCounter {
+            stress_cycles: 0,
+            recovery_cycles: 0,
+        }
+    }
+
+    /// Records one cycle in the given state.
+    pub fn record(&mut self, state: StressState) {
+        match state {
+            StressState::Stressed => self.stress_cycles += 1,
+            StressState::Recovering => self.recovery_cycles += 1,
+        }
+    }
+
+    /// Records one stressed cycle.
+    pub fn record_stress(&mut self) {
+        self.stress_cycles += 1;
+    }
+
+    /// Records one recovering cycle.
+    pub fn record_recovery(&mut self) {
+        self.recovery_cycles += 1;
+    }
+
+    /// Records `n` cycles in the given state at once.
+    pub fn record_many(&mut self, state: StressState, n: u64) {
+        match state {
+            StressState::Stressed => self.stress_cycles += n,
+            StressState::Recovering => self.recovery_cycles += n,
+        }
+    }
+
+    /// Number of cycles spent under NBTI stress.
+    pub fn stress_cycles(&self) -> u64 {
+        self.stress_cycles
+    }
+
+    /// Number of cycles spent recovering (power-gated).
+    pub fn recovery_cycles(&self) -> u64 {
+        self.recovery_cycles
+    }
+
+    /// Total recorded cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.stress_cycles + self.recovery_cycles
+    }
+
+    /// The stress probability `α ∈ [0, 1]` used by the long-term NBTI model.
+    ///
+    /// Returns 1.0 when no cycle has been recorded: an unmonitored powered
+    /// device is conservatively assumed fully stressed, matching the paper's
+    /// NBTI-unaware baseline.
+    pub fn alpha(&self) -> f64 {
+        let total = self.total_cycles();
+        if total == 0 {
+            1.0
+        } else {
+            self.stress_cycles as f64 / total as f64
+        }
+    }
+
+    /// The paper's *NBTI-duty-cycle* in percent (`α × 100`).
+    pub fn duty_cycle_percent(&self) -> f64 {
+        self.alpha() * 100.0
+    }
+
+    /// Resets both counters to zero (used when discarding warm-up cycles).
+    pub fn reset(&mut self) {
+        self.stress_cycles = 0;
+        self.recovery_cycles = 0;
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: &DutyCycleCounter) {
+        self.stress_cycles += other.stress_cycles;
+        self.recovery_cycles += other.recovery_cycles;
+    }
+}
+
+impl fmt::Display for DutyCycleCounter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1}% ({} stress / {} recovery)",
+            self.duty_cycle_percent(),
+            self.stress_cycles,
+            self.recovery_cycles
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_counter_is_fully_stressed() {
+        let duty = DutyCycleCounter::new();
+        assert_eq!(duty.total_cycles(), 0);
+        assert_eq!(duty.alpha(), 1.0);
+        assert_eq!(duty.duty_cycle_percent(), 100.0);
+    }
+
+    #[test]
+    fn pure_stress_is_100_percent() {
+        let mut duty = DutyCycleCounter::new();
+        duty.record_many(StressState::Stressed, 1000);
+        assert_eq!(duty.duty_cycle_percent(), 100.0);
+        assert_eq!(duty.stress_cycles(), 1000);
+        assert_eq!(duty.recovery_cycles(), 0);
+    }
+
+    #[test]
+    fn pure_recovery_is_0_percent() {
+        let mut duty = DutyCycleCounter::new();
+        duty.record_many(StressState::Recovering, 42);
+        assert_eq!(duty.duty_cycle_percent(), 0.0);
+    }
+
+    #[test]
+    fn mixed_accounting_matches_definition() {
+        let mut duty = DutyCycleCounter::new();
+        duty.record_many(StressState::Stressed, 250);
+        duty.record_many(StressState::Recovering, 750);
+        assert!((duty.duty_cycle_percent() - 25.0).abs() < 1e-12);
+        assert!((duty.alpha() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_dispatches_on_state() {
+        let mut duty = DutyCycleCounter::new();
+        duty.record(StressState::Stressed);
+        duty.record(StressState::Recovering);
+        assert_eq!(duty.stress_cycles(), 1);
+        assert_eq!(duty.recovery_cycles(), 1);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let mut duty = DutyCycleCounter::new();
+        duty.record_many(StressState::Stressed, 10);
+        duty.reset();
+        assert_eq!(duty.total_cycles(), 0);
+    }
+
+    #[test]
+    fn merge_adds_componentwise() {
+        let mut a = DutyCycleCounter::new();
+        a.record_many(StressState::Stressed, 10);
+        a.record_many(StressState::Recovering, 30);
+        let mut b = DutyCycleCounter::new();
+        b.record_many(StressState::Stressed, 30);
+        b.record_many(StressState::Recovering, 30);
+        a.merge(&b);
+        assert_eq!(a.stress_cycles(), 40);
+        assert_eq!(a.recovery_cycles(), 60);
+        assert!((a.duty_cycle_percent() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let mut duty = DutyCycleCounter::new();
+        duty.record_many(StressState::Stressed, 1);
+        duty.record_many(StressState::Recovering, 3);
+        let s = format!("{duty}");
+        assert!(s.contains("25.0%"), "{s}");
+        assert!(s.contains("1 stress"), "{s}");
+    }
+}

@@ -1,0 +1,160 @@
+//! Long-horizon ΔVth projection and policy-vs-baseline savings.
+//!
+//! The paper's conclusion reports a *net NBTI Vth saving up to 54.2 %*
+//! against the NBTI-unaware baseline (whose buffers are always powered,
+//! i.e. `α = 1`). That figure is obtained by feeding the measured
+//! NBTI-duty-cycles through the Eq. 1 model at a long horizon — this module
+//! implements exactly that extraction.
+
+use crate::model::{LongTermModel, NbtiParams};
+use crate::units::Volt;
+
+/// One point of a ΔVth-over-time projection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProjectionPoint {
+    /// Aging time in seconds.
+    pub t_s: f64,
+    /// Projected threshold-voltage shift.
+    pub delta_vth: Volt,
+}
+
+/// A ΔVth trajectory for a device running at a fixed NBTI-duty-cycle.
+///
+/// ```
+/// use nbti_model::{LongTermModel, VthProjection};
+///
+/// let model = LongTermModel::calibrated_45nm();
+/// let proj = VthProjection::over_years(&model, 0.25, 10, 20);
+/// assert_eq!(proj.points().len(), 20);
+/// // Monotone non-decreasing trajectory.
+/// for w in proj.points().windows(2) {
+///     assert!(w[1].delta_vth >= w[0].delta_vth);
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct VthProjection {
+    alpha: f64,
+    points: Vec<ProjectionPoint>,
+}
+
+impl VthProjection {
+    /// Projects `ΔVth(t)` at duty cycle `alpha` over `years`, sampled at
+    /// `num_points` evenly spaced instants (the first point is `years /
+    /// num_points`, the last is `years`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_points` is zero.
+    pub fn over_years(model: &LongTermModel, alpha: f64, years: u32, num_points: usize) -> Self {
+        assert!(num_points > 0, "at least one projection point required");
+        let horizon = years as f64 * NbtiParams::ONE_YEAR_S;
+        let points = (1..=num_points)
+            .map(|i| {
+                let t_s = horizon * i as f64 / num_points as f64;
+                ProjectionPoint {
+                    t_s,
+                    delta_vth: model.delta_vth(alpha, t_s),
+                }
+            })
+            .collect();
+        VthProjection { alpha, points }
+    }
+
+    /// The duty cycle this projection assumes.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The projected points.
+    pub fn points(&self) -> &[ProjectionPoint] {
+        &self.points
+    }
+
+    /// The shift at the end of the horizon.
+    pub fn final_shift(&self) -> Volt {
+        self.points
+            .last()
+            .map(|p| p.delta_vth)
+            .unwrap_or(Volt::ZERO)
+    }
+}
+
+/// Net NBTI `Vth` saving (percent) of running a buffer at duty cycle
+/// `alpha_policy` instead of the NBTI-unaware baseline (`α = 1`), over a
+/// ten-year horizon — the paper's headline extraction.
+///
+/// ```
+/// use nbti_model::{vth_saving_percent, LongTermModel};
+///
+/// let model = LongTermModel::calibrated_45nm();
+/// // The paper's best sensor-wise duty cycles (a few percent) save
+/// // roughly half of the baseline degradation.
+/// let s = vth_saving_percent(&model, 0.01);
+/// assert!(s > 40.0 && s < 70.0, "saving = {s}");
+/// // No gating, no saving.
+/// assert!(vth_saving_percent(&model, 1.0).abs() < 1e-9);
+/// ```
+pub fn vth_saving_percent(model: &LongTermModel, alpha_policy: f64) -> f64 {
+    model.saving_percent(alpha_policy, 1.0, NbtiParams::TEN_YEARS_S)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_is_monotone() {
+        let model = LongTermModel::calibrated_45nm();
+        let proj = VthProjection::over_years(&model, 0.6, 10, 40);
+        for w in proj.points().windows(2) {
+            assert!(w[1].delta_vth >= w[0].delta_vth);
+            assert!(w[1].t_s > w[0].t_s);
+        }
+    }
+
+    #[test]
+    fn final_shift_matches_direct_model_call() {
+        let model = LongTermModel::calibrated_45nm();
+        let proj = VthProjection::over_years(&model, 0.3, 10, 10);
+        let direct = model.delta_vth(0.3, 10.0 * NbtiParams::ONE_YEAR_S);
+        assert_eq!(proj.final_shift(), direct);
+    }
+
+    #[test]
+    fn saving_decreases_with_alpha() {
+        let model = LongTermModel::calibrated_45nm();
+        let mut last = 101.0;
+        for &alpha in &[0.01, 0.1, 0.3, 0.6, 1.0] {
+            let s = vth_saving_percent(&model, alpha);
+            assert!(s < last, "saving must fall as α rises");
+            last = s;
+        }
+    }
+
+    #[test]
+    fn paper_magnitude_is_reachable() {
+        // The paper reports up to 54.2% Vth saving. Our calibrated model
+        // should reach that neighbourhood for the small duty cycles the
+        // sensor-wise policy achieves (≈ 1-10%).
+        let model = LongTermModel::calibrated_45nm();
+        let best = vth_saving_percent(&model, 0.009);
+        assert!(best > 50.0, "best saving = {best}");
+    }
+
+    #[test]
+    fn higher_alpha_projection_dominates_pointwise() {
+        let model = LongTermModel::calibrated_45nm();
+        let low = VthProjection::over_years(&model, 0.2, 10, 16);
+        let high = VthProjection::over_years(&model, 0.8, 10, 16);
+        for (l, h) in low.points().iter().zip(high.points()) {
+            assert!(h.delta_vth > l.delta_vth);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one projection point required")]
+    fn zero_points_panics() {
+        let model = LongTermModel::calibrated_45nm();
+        let _ = VthProjection::over_years(&model, 0.5, 10, 0);
+    }
+}

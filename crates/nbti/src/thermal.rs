@@ -1,0 +1,192 @@
+//! First-order thermal model.
+//!
+//! NBTI is exponentially temperature-activated (the `C(T)` Arrhenius term
+//! of the model), so the operating temperature matters as much as the duty
+//! cycle. The paper evaluates at a fixed temperature; this module provides
+//! the standard first-order RC abstraction — one thermal node per router,
+//! driven by its power — so temperature-coupled studies (power ↑ →
+//! temperature ↑ → aging ↑) can be built on top.
+//!
+//! The step update is the exact solution of the RC node over the step, so
+//! arbitrarily large steps remain stable:
+//!
+//! ```text
+//! T(t+dt) = T∞ + (T(t) − T∞) · exp(−dt/τ),   T∞ = T_amb + P·R_th,  τ = R_th·C_th
+//! ```
+
+use std::fmt;
+
+/// Thermal parameters of one node (a router tile).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalParams {
+    /// Ambient (heatsink) temperature in kelvin.
+    pub ambient_k: f64,
+    /// Junction-to-ambient thermal resistance in K/W.
+    pub r_th_k_per_w: f64,
+    /// Thermal capacitance in J/K.
+    pub c_th_j_per_k: f64,
+}
+
+impl ThermalParams {
+    /// A typical tile of a 45 nm many-core under a conventional heatsink:
+    /// 45 °C ambient, 20 K/W to the sink, a few mJ/K of silicon+spreader.
+    pub fn typical_tile() -> Self {
+        ThermalParams {
+            ambient_k: 318.15,
+            r_th_k_per_w: 20.0,
+            c_th_j_per_k: 2e-3,
+        }
+    }
+
+    /// The thermal time constant τ = R·C in seconds.
+    pub fn tau_s(&self) -> f64 {
+        self.r_th_k_per_w * self.c_th_j_per_k
+    }
+}
+
+impl Default for ThermalParams {
+    fn default() -> Self {
+        Self::typical_tile()
+    }
+}
+
+/// One first-order thermal node.
+///
+/// ```
+/// use nbti_model::thermal::{ThermalNode, ThermalParams};
+///
+/// let mut node = ThermalNode::new(ThermalParams::typical_tile());
+/// // 1 W for a long time: settles at ambient + 1 W × 20 K/W.
+/// node.step(1.0, 10.0);
+/// assert!((node.temperature_k() - (318.15 + 20.0)).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalNode {
+    params: ThermalParams,
+    temp_k: f64,
+}
+
+impl ThermalNode {
+    /// Creates a node at ambient temperature.
+    pub fn new(params: ThermalParams) -> Self {
+        ThermalNode {
+            params,
+            temp_k: params.ambient_k,
+        }
+    }
+
+    /// The node's parameters.
+    pub fn params(&self) -> &ThermalParams {
+        &self.params
+    }
+
+    /// Current junction temperature in kelvin.
+    pub fn temperature_k(&self) -> f64 {
+        self.temp_k
+    }
+
+    /// Advances the node by `dt_s` seconds while dissipating `power_w`
+    /// watts (exact first-order update; unconditionally stable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power_w` or `dt_s` is negative.
+    pub fn step(&mut self, power_w: f64, dt_s: f64) {
+        assert!(power_w >= 0.0, "negative power");
+        assert!(dt_s >= 0.0, "negative time step");
+        let t_inf = self.params.ambient_k + power_w * self.params.r_th_k_per_w;
+        let tau = self.params.tau_s();
+        let decay = if tau > 0.0 { (-dt_s / tau).exp() } else { 0.0 };
+        self.temp_k = t_inf + (self.temp_k - t_inf) * decay;
+    }
+
+    /// The steady-state temperature at constant power.
+    pub fn steady_state_k(&self, power_w: f64) -> f64 {
+        self.params.ambient_k + power_w * self.params.r_th_k_per_w
+    }
+}
+
+impl fmt::Display for ThermalNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} K ({:.2} °C)", self.temp_k, self.temp_k - 273.15)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_ambient() {
+        let node = ThermalNode::new(ThermalParams::typical_tile());
+        assert_eq!(node.temperature_k(), 318.15);
+    }
+
+    #[test]
+    fn settles_at_steady_state() {
+        let mut node = ThermalNode::new(ThermalParams::typical_tile());
+        node.step(2.0, 100.0 * node.params().tau_s());
+        assert!((node.temperature_k() - node.steady_state_k(2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heating_is_monotone_within_a_transient() {
+        let mut node = ThermalNode::new(ThermalParams::typical_tile());
+        let mut last = node.temperature_k();
+        for _ in 0..20 {
+            node.step(1.5, node.params().tau_s() / 10.0);
+            assert!(node.temperature_k() > last);
+            last = node.temperature_k();
+        }
+        assert!(last < node.steady_state_k(1.5));
+    }
+
+    #[test]
+    fn cooling_returns_to_ambient() {
+        let mut node = ThermalNode::new(ThermalParams::typical_tile());
+        node.step(3.0, 1.0);
+        node.step(0.0, 100.0 * node.params().tau_s());
+        assert!((node.temperature_k() - 318.15).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_steps_are_stable() {
+        let mut node = ThermalNode::new(ThermalParams::typical_tile());
+        for _ in 0..5 {
+            node.step(1.0, 1e6);
+            let t = node.temperature_k();
+            assert!(t >= 318.15 && t <= node.steady_state_k(1.0) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn chunked_and_single_step_agree() {
+        let mut a = ThermalNode::new(ThermalParams::typical_tile());
+        let mut b = ThermalNode::new(ThermalParams::typical_tile());
+        a.step(1.0, 0.08);
+        for _ in 0..8 {
+            b.step(1.0, 0.01);
+        }
+        assert!((a.temperature_k() - b.temperature_k()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hotter_node_ages_faster_through_the_nbti_model() {
+        use crate::model::{LongTermModel, NbtiParams};
+        let base = LongTermModel::calibrated_45nm();
+        let mut hot_params = *base.params();
+        hot_params.temperature_k = 380.0;
+        let hot = LongTermModel::new(hot_params);
+        assert!(
+            hot.delta_vth(0.5, NbtiParams::TEN_YEARS_S)
+                > base.delta_vth(0.5, NbtiParams::TEN_YEARS_S)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "negative power")]
+    fn negative_power_panics() {
+        let mut node = ThermalNode::new(ThermalParams::typical_tile());
+        node.step(-1.0, 1.0);
+    }
+}

@@ -1,0 +1,357 @@
+//! Per-buffer and per-port NBTI degradation tracking.
+//!
+//! A [`BufferAgeTracker`] follows one VC buffer: its process-variation
+//! initial `Vth`, its stress/recovery history (duty cycle), and its current
+//! *true* aged threshold voltage under the long-term model. A
+//! [`PortAgeTracker`] groups the trackers of one input port together with
+//! one NBTI sensor per buffer and answers the question the `Down_Up` link
+//! carries: *which VC is the most degraded right now?*
+//!
+//! # Time scaling
+//!
+//! A 30·10⁶-cycle simulation covers 30 ms of real time — far too short for
+//! NBTI to move `Vth` measurably, which is why the paper's most-degraded VC
+//! is decided by process variation and stays constant within a scenario.
+//! The tracker supports an optional `age_acceleration` factor that maps each
+//! simulated cycle to `factor × Tclk` seconds of aging, so sensor-driven
+//! dynamics (MD changes over time) can be studied as an extension. The
+//! default factor of 1.0 reproduces the paper's regime.
+
+use crate::duty::{DutyCycleCounter, StressState};
+use crate::model::LongTermModel;
+use crate::sensor::{most_degraded_by_reading, NbtiSensor};
+use crate::units::Volt;
+
+/// Tracks the NBTI degradation of a single VC buffer.
+///
+/// ```
+/// use nbti_model::{BufferAgeTracker, LongTermModel, StressState, Volt};
+///
+/// let model = LongTermModel::calibrated_45nm();
+/// let mut t = BufferAgeTracker::new(Volt::from_volts(0.181), model);
+/// for _ in 0..60 { t.record(StressState::Stressed); }
+/// for _ in 0..40 { t.record(StressState::Recovering); }
+/// assert!((t.duty().duty_cycle_percent() - 60.0).abs() < 1e-9);
+/// assert!(t.true_vth() >= Volt::from_volts(0.181));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BufferAgeTracker {
+    initial_vth: Volt,
+    duty: DutyCycleCounter,
+    model: LongTermModel,
+    age_acceleration: f64,
+    elapsed_cycles: u64,
+}
+
+impl BufferAgeTracker {
+    /// Creates a tracker for a buffer with the given initial `Vth`.
+    pub fn new(initial_vth: Volt, model: LongTermModel) -> Self {
+        BufferAgeTracker {
+            initial_vth,
+            duty: DutyCycleCounter::new(),
+            model,
+            age_acceleration: 1.0,
+            elapsed_cycles: 0,
+        }
+    }
+
+    /// Sets the aging time-acceleration factor (see module docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not strictly positive.
+    pub fn with_age_acceleration(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0, "acceleration factor must be positive");
+        self.age_acceleration = factor;
+        self
+    }
+
+    /// Records one cycle in the given stress state.
+    pub fn record(&mut self, state: StressState) {
+        self.duty.record(state);
+        self.elapsed_cycles += 1;
+    }
+
+    /// The initial (process-variation) threshold voltage.
+    pub fn initial_vth(&self) -> Volt {
+        self.initial_vth
+    }
+
+    /// The stress/recovery accounting so far.
+    pub fn duty(&self) -> &DutyCycleCounter {
+        &self.duty
+    }
+
+    /// Cycles observed so far.
+    pub fn elapsed_cycles(&self) -> u64 {
+        self.elapsed_cycles
+    }
+
+    /// Equivalent aged seconds observed so far (cycles × Tclk ×
+    /// acceleration).
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.elapsed_cycles as f64 * self.model.params().tclk_s * self.age_acceleration
+    }
+
+    /// The current *true* threshold voltage: initial `Vth` plus the model's
+    /// tracked ΔVth at the observed duty cycle and elapsed (accelerated)
+    /// time. Uses [`LongTermModel::delta_vth_tracked`], which vanishes at
+    /// `t = 0` — over a typical simulation horizon the shift is
+    /// sub-millivolt, so the most-degraded ordering stays dominated by
+    /// process variation, matching the paper's static `MD VC` columns.
+    pub fn true_vth(&self) -> Volt {
+        if self.elapsed_cycles == 0 {
+            return self.initial_vth;
+        }
+        self.model
+            .aged_vth_tracked(self.initial_vth, self.duty.alpha(), self.elapsed_seconds())
+    }
+
+    /// Projects the true threshold voltage to `horizon_s` seconds assuming
+    /// the duty cycle observed so far continues.
+    pub fn projected_vth(&self, horizon_s: f64) -> Volt {
+        self.model
+            .aged_vth(self.initial_vth, self.duty.alpha(), horizon_s)
+    }
+
+    /// Resets the stress/recovery accounting (e.g. after warm-up) but keeps
+    /// the initial `Vth`.
+    pub fn reset_duty(&mut self) {
+        self.duty.reset();
+        self.elapsed_cycles = 0;
+    }
+}
+
+/// Tracks every VC buffer of one router input port, with one sensor per
+/// buffer, and elects the most degraded VC.
+///
+/// The generic parameter selects the sensor model; the default is whatever
+/// the caller constructs — use [`crate::IdealSensor`] for the paper's setup.
+#[derive(Debug, Clone)]
+pub struct PortAgeTracker<S> {
+    buffers: Vec<BufferAgeTracker>,
+    sensors: Vec<S>,
+    cycle: u64,
+}
+
+impl<S: NbtiSensor> PortAgeTracker<S> {
+    /// Creates a port tracker from per-VC initial threshold voltages and
+    /// per-VC sensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two slices have different lengths or are empty.
+    pub fn new(initial_vths: &[Volt], sensors: Vec<S>, model: LongTermModel) -> Self {
+        assert_eq!(
+            initial_vths.len(),
+            sensors.len(),
+            "one sensor per VC buffer required"
+        );
+        assert!(!initial_vths.is_empty(), "a port has at least one VC");
+        PortAgeTracker {
+            buffers: initial_vths
+                .iter()
+                .map(|&v| BufferAgeTracker::new(v, model))
+                .collect(),
+            sensors,
+            cycle: 0,
+        }
+    }
+
+    /// Number of tracked VC buffers.
+    pub fn num_vcs(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// Records one cycle: `states[v]` is the stress state of VC `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len() != num_vcs()`.
+    pub fn record_cycle(&mut self, states: &[StressState]) {
+        assert_eq!(states.len(), self.buffers.len());
+        for (buf, &st) in self.buffers.iter_mut().zip(states) {
+            buf.record(st);
+        }
+        self.cycle += 1;
+    }
+
+    /// Per-buffer tracker access.
+    pub fn buffer(&self, vc: usize) -> &BufferAgeTracker {
+        &self.buffers[vc]
+    }
+
+    /// Iterates over the per-buffer trackers.
+    pub fn buffers(&self) -> impl Iterator<Item = &BufferAgeTracker> {
+        self.buffers.iter()
+    }
+
+    /// Samples every sensor and returns the index of the most degraded VC —
+    /// the value the `Down_Up` link would carry this cycle.
+    pub fn most_degraded(&mut self) -> usize {
+        let cycle = self.cycle;
+        let readings: Vec<Volt> = self
+            .buffers
+            .iter()
+            .zip(self.sensors.iter_mut())
+            .map(|(buf, sensor)| sensor.sample(buf.true_vth(), cycle))
+            .collect();
+        most_degraded_by_reading(&readings).expect("port has at least one VC")
+    }
+
+    /// The most degraded VC according to *initial* `Vth` only (the paper's
+    /// `MD VC` table column, fixed per scenario by process variation).
+    pub fn most_degraded_initial(&self) -> usize {
+        most_degraded_by_reading(
+            &self
+                .buffers
+                .iter()
+                .map(|b| b.initial_vth())
+                .collect::<Vec<_>>(),
+        )
+        .expect("port has at least one VC")
+    }
+
+    /// Per-VC NBTI-duty-cycle percentages.
+    pub fn duty_cycles_percent(&self) -> Vec<f64> {
+        self.buffers
+            .iter()
+            .map(|b| b.duty().duty_cycle_percent())
+            .collect()
+    }
+
+    /// Resets all duty accounting (e.g. after warm-up).
+    pub fn reset_duty(&mut self) {
+        for b in &mut self.buffers {
+            b.reset_duty();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sensor::IdealSensor;
+
+    fn model() -> LongTermModel {
+        LongTermModel::calibrated_45nm()
+    }
+
+    #[test]
+    fn fresh_tracker_reports_initial_vth() {
+        let t = BufferAgeTracker::new(Volt::from_volts(0.1834), model());
+        assert_eq!(t.true_vth(), Volt::from_volts(0.1834));
+        assert_eq!(t.elapsed_cycles(), 0);
+    }
+
+    #[test]
+    fn stress_raises_true_vth() {
+        let mut t =
+            BufferAgeTracker::new(Volt::from_volts(0.18), model()).with_age_acceleration(1e12);
+        for _ in 0..1000 {
+            t.record(StressState::Stressed);
+        }
+        assert!(t.true_vth() > t.initial_vth());
+    }
+
+    #[test]
+    fn lower_duty_cycle_ages_less() {
+        let mk = |stress: u64, recover: u64| {
+            let mut t =
+                BufferAgeTracker::new(Volt::from_volts(0.18), model()).with_age_acceleration(1e12);
+            for _ in 0..stress {
+                t.record(StressState::Stressed);
+            }
+            for _ in 0..recover {
+                t.record(StressState::Recovering);
+            }
+            t.true_vth()
+        };
+        assert!(mk(900, 100) > mk(100, 900));
+    }
+
+    #[test]
+    fn projection_uses_observed_alpha() {
+        let mut t = BufferAgeTracker::new(Volt::from_volts(0.18), model());
+        for _ in 0..30 {
+            t.record(StressState::Stressed);
+        }
+        for _ in 0..70 {
+            t.record(StressState::Recovering);
+        }
+        let m = model();
+        let expect = m.aged_vth(Volt::from_volts(0.18), 0.3, 1e8);
+        assert_eq!(t.projected_vth(1e8), expect);
+    }
+
+    #[test]
+    fn reset_duty_keeps_initial_vth() {
+        let mut t = BufferAgeTracker::new(Volt::from_volts(0.19), model());
+        t.record(StressState::Stressed);
+        t.reset_duty();
+        assert_eq!(t.elapsed_cycles(), 0);
+        assert_eq!(t.true_vth(), Volt::from_volts(0.19));
+    }
+
+    fn port(vths: &[f64]) -> PortAgeTracker<IdealSensor> {
+        let vths: Vec<Volt> = vths.iter().map(|&v| Volt::from_volts(v)).collect();
+        let sensors = vec![IdealSensor::new(); vths.len()];
+        PortAgeTracker::new(&vths, sensors, model())
+    }
+
+    #[test]
+    fn most_degraded_initial_is_highest_vth() {
+        let p = port(&[0.179, 0.1835, 0.181, 0.180]);
+        assert_eq!(p.most_degraded_initial(), 1);
+    }
+
+    #[test]
+    fn ideal_sensor_md_matches_initial_when_unaged() {
+        let mut p = port(&[0.179, 0.1835, 0.181, 0.180]);
+        assert_eq!(p.most_degraded(), 1);
+    }
+
+    #[test]
+    fn record_cycle_updates_all_buffers() {
+        let mut p = port(&[0.18, 0.18]);
+        p.record_cycle(&[StressState::Stressed, StressState::Recovering]);
+        p.record_cycle(&[StressState::Stressed, StressState::Recovering]);
+        let d = p.duty_cycles_percent();
+        assert_eq!(d, vec![100.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one sensor per VC buffer required")]
+    fn mismatched_sensor_count_panics() {
+        let _ = PortAgeTracker::new(
+            &[Volt::from_volts(0.18)],
+            vec![IdealSensor::new(), IdealSensor::new()],
+            model(),
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn record_cycle_wrong_arity_panics() {
+        let mut p = port(&[0.18, 0.18]);
+        p.record_cycle(&[StressState::Stressed]);
+    }
+
+    #[test]
+    fn heavy_stress_can_flip_most_degraded_under_acceleration() {
+        // VC0 starts slightly less degraded but is stressed 100% of the time
+        // while VC1 fully recovers; with enough accelerated aging VC0 must
+        // overtake VC1.
+        let vths = [Volt::from_volts(0.1800), Volt::from_volts(0.1808)];
+        let sensors = vec![IdealSensor::new(); 2];
+        let mut p = PortAgeTracker::new(&vths, sensors, model());
+        for b in &mut p.buffers {
+            b.age_acceleration = 1e13;
+        }
+        assert_eq!(p.most_degraded(), 1);
+        for _ in 0..10_000 {
+            p.record_cycle(&[StressState::Stressed, StressState::Recovering]);
+        }
+        assert_eq!(p.most_degraded(), 0, "aging should overtake PV offset");
+    }
+}

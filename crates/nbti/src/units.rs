@@ -1,0 +1,209 @@
+//! Minimal unit newtypes used across the NBTI models.
+//!
+//! Only the quantities that cross public API boundaries get a newtype; model
+//! internals work on `f64` with documented units.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// An electric potential in volts.
+///
+/// Used for threshold voltages (`Vth`), supply voltages (`Vdd`) and
+/// threshold-voltage shifts (`ΔVth`). The wrapper prevents accidentally mixing
+/// volts with the many dimensionless factors in the NBTI formulas.
+///
+/// ```
+/// use nbti_model::Volt;
+/// let vth = Volt::from_millivolts(180.0);
+/// assert!((vth.as_volts() - 0.180).abs() < 1e-12);
+/// assert!((vth.as_millivolts() - 180.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Volt(f64);
+
+impl Volt {
+    /// Zero volts.
+    pub const ZERO: Volt = Volt(0.0);
+
+    /// Creates a value from volts.
+    pub const fn from_volts(v: f64) -> Self {
+        Volt(v)
+    }
+
+    /// Creates a value from millivolts.
+    pub fn from_millivolts(mv: f64) -> Self {
+        Volt(mv * 1e-3)
+    }
+
+    /// Returns the value in volts.
+    pub const fn as_volts(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the value in millivolts.
+    pub fn as_millivolts(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Returns the absolute value.
+    pub fn abs(self) -> Volt {
+        Volt(self.0.abs())
+    }
+
+    /// Returns the larger of two voltages.
+    pub fn max(self, other: Volt) -> Volt {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the smaller of two voltages.
+    pub fn min(self, other: Volt) -> Volt {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns `true` when the value is finite (not NaN or infinite).
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+}
+
+impl fmt::Display for Volt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(prec) = f.precision() {
+            write!(f, "{:.*} V", prec, self.0)
+        } else {
+            write!(f, "{} V", self.0)
+        }
+    }
+}
+
+impl Add for Volt {
+    type Output = Volt;
+    fn add(self, rhs: Volt) -> Volt {
+        Volt(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Volt {
+    fn add_assign(&mut self, rhs: Volt) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Volt {
+    type Output = Volt;
+    fn sub(self, rhs: Volt) -> Volt {
+        Volt(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Volt {
+    fn sub_assign(&mut self, rhs: Volt) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Volt {
+    type Output = Volt;
+    fn neg(self) -> Volt {
+        Volt(-self.0)
+    }
+}
+
+impl Mul<f64> for Volt {
+    type Output = Volt;
+    fn mul(self, rhs: f64) -> Volt {
+        Volt(self.0 * rhs)
+    }
+}
+
+impl Mul<Volt> for f64 {
+    type Output = Volt;
+    fn mul(self, rhs: Volt) -> Volt {
+        Volt(self * rhs.0)
+    }
+}
+
+impl Div<f64> for Volt {
+    type Output = Volt;
+    fn div(self, rhs: f64) -> Volt {
+        Volt(self.0 / rhs)
+    }
+}
+
+impl Div<Volt> for Volt {
+    /// Dividing two voltages yields a dimensionless ratio.
+    type Output = f64;
+    fn div(self, rhs: Volt) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Volt {
+    fn sum<I: Iterator<Item = Volt>>(iter: I) -> Volt {
+        Volt(iter.map(|v| v.0).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_round_trips() {
+        let v = Volt::from_millivolts(52.5);
+        assert!((v.as_volts() - 0.0525).abs() < 1e-12);
+        assert!((v.as_millivolts() - 52.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arithmetic_behaves_like_f64() {
+        let a = Volt::from_volts(1.2);
+        let b = Volt::from_volts(0.18);
+        assert!(((a - b).as_volts() - 1.02).abs() < 1e-12);
+        assert!(((a + b).as_volts() - 1.38).abs() < 1e-12);
+        assert!(((a * 2.0).as_volts() - 2.4).abs() < 1e-12);
+        assert!(((2.0 * a).as_volts() - 2.4).abs() < 1e-12);
+        assert!(((a / 2.0).as_volts() - 0.6).abs() < 1e-12);
+        assert!((a / b - 1.2 / 0.18).abs() < 1e-12);
+        assert_eq!((-b).as_volts(), -0.18);
+    }
+
+    #[test]
+    fn add_sub_assign() {
+        let mut v = Volt::from_volts(1.0);
+        v += Volt::from_volts(0.5);
+        assert_eq!(v.as_volts(), 1.5);
+        v -= Volt::from_volts(1.0);
+        assert_eq!(v.as_volts(), 0.5);
+    }
+
+    #[test]
+    fn min_max_abs() {
+        let a = Volt::from_volts(-0.3);
+        let b = Volt::from_volts(0.2);
+        assert_eq!(a.abs().as_volts(), 0.3);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn sum_of_voltages() {
+        let total: Volt = [0.1, 0.2, 0.3].iter().map(|&v| Volt::from_volts(v)).sum();
+        assert!((total.as_volts() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_with_precision() {
+        let v = Volt::from_volts(0.18004);
+        assert_eq!(format!("{v:.3}"), "0.180 V");
+    }
+}

@@ -1,0 +1,950 @@
+//! The whole-network simulation engine.
+//!
+//! [`Network`] owns every router and NIC of the mesh and advances them in
+//! lock-step cycles. A cycle has two halves so that a gating controller can
+//! sit in the middle, exactly where the paper's pre-VA stage sits:
+//!
+//! 1. [`Network::begin_cycle`] — credits and flits arriving this cycle are
+//!    absorbed (the BW + RC stage).
+//! 2. *controller slot* — the caller may inspect [`Network::port_view`] for
+//!    any port and issue [`Network::apply_gate`] commands (the `Up_Down`
+//!    link payloads).
+//! 3. [`Network::finish_cycle`] — VC allocation, switch allocation, switch
+//!    and link traversal, NIC injection/ejection; the cycle counter then
+//!    advances.
+//!
+//! [`Network::step`] performs both halves with no gating changes (the
+//! NBTI-unaware baseline).
+
+use crate::config::{InvalidConfigError, NocConfig};
+use crate::flit::PacketId;
+use crate::nic::{Nic, PendingPacket};
+use crate::router::{Router, SaWinner, NUM_PORTS};
+use crate::stats::NetStats;
+use crate::topology::Mesh2D;
+use crate::types::{Direction, NodeId};
+use crate::unit::{Credit, InVcState, OutVcState};
+use crate::view::{GateAction, PortId, PortKind, PortView, VcStatus};
+
+/// Where a cycle currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Between cycles: `begin_cycle` is next.
+    Idle,
+    /// Mid-cycle: views are fresh, gating commands may be applied,
+    /// `finish_cycle` is next.
+    Mid,
+}
+
+/// Internal address of an upstream agent (the VC-allocating side).
+#[derive(Debug, Clone, Copy)]
+enum Upstream {
+    RouterOut { node: usize, port: usize },
+    NicInject { node: usize },
+}
+
+/// Internal address of a downstream buffer set.
+#[derive(Debug, Clone, Copy)]
+enum Downstream {
+    RouterIn { node: usize, port: usize },
+    NicEject { node: usize },
+}
+
+/// A simulated mesh NoC.
+///
+/// ```
+/// use noc_sim::prelude::*;
+///
+/// let mut net = Network::new(NocConfig::paper_synthetic(4, 2))?;
+/// net.inject_packet(NodeId(0), NodeId(3));
+/// for _ in 0..100 { net.step(); }
+/// assert_eq!(net.stats().packets_ejected, 1);
+/// # Ok::<(), noc_sim::config::InvalidConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Network {
+    cfg: NocConfig,
+    mesh: Mesh2D,
+    routers: Vec<Router>,
+    nics: Vec<Nic>,
+    cycle: u64,
+    phase: Phase,
+    stats: NetStats,
+    next_packet: u64,
+    port_ids: Vec<PortId>,
+}
+
+impl Network {
+    /// Builds a network from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the configuration's validation error, if any.
+    pub fn new(cfg: NocConfig) -> Result<Self, InvalidConfigError> {
+        cfg.validate()?;
+        let mesh = Mesh2D::new(cfg.cols, cfg.rows);
+        let routers: Vec<Router> = mesh
+            .nodes()
+            .map(|node| {
+                let mut connected = [true; NUM_PORTS];
+                for d in Direction::MESH {
+                    connected[d.index()] = mesh.neighbor(node, d).is_some();
+                }
+                Router::new(cfg.vcs_per_port, cfg.buffer_depth, connected)
+            })
+            .collect();
+        let nics: Vec<Nic> = mesh
+            .nodes()
+            .map(|node| Nic::new(node, cfg.vcs_per_port, cfg.buffer_depth))
+            .collect();
+        let mut port_ids = Vec::new();
+        for node in mesh.nodes() {
+            for d in Direction::MESH {
+                if mesh.neighbor(node, d).is_some() {
+                    port_ids.push(PortId::router_input(node, d));
+                }
+            }
+            port_ids.push(PortId::router_input(node, Direction::Local));
+            port_ids.push(PortId::nic_eject(node));
+        }
+        Ok(Network {
+            cfg,
+            mesh,
+            routers,
+            nics,
+            cycle: 0,
+            phase: Phase::Idle,
+            stats: NetStats::default(),
+            next_packet: 0,
+            port_ids,
+        })
+    }
+
+    /// The configuration the network was built from.
+    pub fn config(&self) -> &NocConfig {
+        &self.cfg
+    }
+
+    /// The mesh topology.
+    pub fn mesh(&self) -> &Mesh2D {
+        &self.mesh
+    }
+
+    /// The current cycle number.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Accumulated performance statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Resets the performance statistics (e.g. after warm-up). In-flight
+    /// traffic is unaffected, so conservation counters (`packets_injected`
+    /// vs `packets_ejected`) restart from zero together.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Queues a packet of the configured default length for injection.
+    pub fn inject_packet(&mut self, src: NodeId, dst: NodeId) -> PacketId {
+        self.inject_packet_with_len(src, dst, self.cfg.flits_per_packet)
+    }
+
+    /// Queues a packet of `len` flits for injection at `src`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range or `len` is zero.
+    pub fn inject_packet_with_len(&mut self, src: NodeId, dst: NodeId, len: usize) -> PacketId {
+        assert!(src.index() < self.nics.len(), "src {src} out of range");
+        assert!(dst.index() < self.nics.len(), "dst {dst} out of range");
+        assert!(len > 0, "packets have at least one flit");
+        let id = PacketId(self.next_packet);
+        self.next_packet += 1;
+        self.nics[src.index()].queue.push_back(PendingPacket {
+            id,
+            dst,
+            len,
+            queued_at: self.cycle,
+        });
+        self.stats.packets_injected += 1;
+        id
+    }
+
+    /// All gateable buffer ports of the network, in deterministic order.
+    /// Mesh-boundary router ports with no upstream link are excluded (they
+    /// never hold traffic and are kept permanently gated).
+    pub fn port_ids(&self) -> &[PortId] {
+        &self.port_ids
+    }
+
+    fn resolve(&self, port: PortId) -> (Upstream, Downstream) {
+        let node = port.node.index();
+        assert!(node < self.routers.len(), "port {port} out of range");
+        match port.kind {
+            PortKind::RouterInput(Direction::Local) => (
+                Upstream::NicInject { node },
+                Downstream::RouterIn {
+                    node,
+                    port: Direction::Local.index(),
+                },
+            ),
+            PortKind::RouterInput(d) => {
+                let up = self
+                    .mesh
+                    .neighbor(port.node, d)
+                    .unwrap_or_else(|| panic!("port {port} has no upstream link"));
+                (
+                    Upstream::RouterOut {
+                        node: up.index(),
+                        port: d.opposite().index(),
+                    },
+                    Downstream::RouterIn {
+                        node,
+                        port: d.index(),
+                    },
+                )
+            }
+            PortKind::NicEject => (
+                Upstream::RouterOut {
+                    node,
+                    port: Direction::Local.index(),
+                },
+                Downstream::NicEject { node },
+            ),
+        }
+    }
+
+    /// A snapshot of one buffer port: per-VC status as seen through the
+    /// upstream output VC state, plus the new-traffic predicate. This is
+    /// exactly the input of the paper's Algorithms 1 and 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` does not exist (e.g. a boundary port).
+    pub fn port_view(&self, port: PortId) -> PortView {
+        let (up, _) = self.resolve(port);
+        let new_traffic = match up {
+            Upstream::RouterOut { node, port } => {
+                self.routers[node].has_new_traffic(Direction::from_index(port))
+            }
+            Upstream::NicInject { node } => self.nics[node].has_new_traffic(),
+        };
+        PortView {
+            port,
+            vc_status: self.vc_statuses(port),
+            new_traffic,
+        }
+    }
+
+    /// Per-VC statuses of a buffer port, without the (more expensive)
+    /// new-traffic predicate of [`port_view`](Self::port_view). Used for
+    /// per-cycle NBTI stress accounting: a VC is under stress exactly when
+    /// its status [is stressed](VcStatus::is_stressed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` does not exist (e.g. a boundary port).
+    pub fn vc_statuses(&self, port: PortId) -> Vec<VcStatus> {
+        let (up, down) = self.resolve(port);
+        let out_vcs = match up {
+            Upstream::RouterOut { node, port } => &self.routers[node].outputs[port].vcs,
+            Upstream::NicInject { node } => &self.nics[node].inject.vcs,
+        };
+        let powered = |v: usize| match down {
+            Downstream::RouterIn { node, port } => self.routers[node].inputs[port].vcs[v].powered,
+            Downstream::NicEject { node } => self.nics[node].eject.vcs[v].powered,
+        };
+        out_vcs
+            .iter()
+            .enumerate()
+            .map(|(v, ov)| {
+                if ov.state == OutVcState::Active {
+                    VcStatus::Busy
+                } else if powered(v) {
+                    VcStatus::IdleOn
+                } else {
+                    VcStatus::Off
+                }
+            })
+            .collect()
+    }
+
+    /// Applies a gating decision to one buffer port: downstream power
+    /// states and upstream allocation eligibility are updated together.
+    ///
+    /// Busy VCs are never gated. Must be called mid-cycle (between
+    /// [`begin_cycle`](Self::begin_cycle) and
+    /// [`finish_cycle`](Self::finish_cycle)) so the decision takes effect
+    /// for this cycle's VC allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called outside the mid-cycle window, if the port does not
+    /// exist, or if a `KeepOneIdle` VC index is out of range.
+    pub fn apply_gate(&mut self, port: PortId, action: GateAction) {
+        assert_eq!(
+            self.phase,
+            Phase::Mid,
+            "apply_gate must run between begin_cycle and finish_cycle"
+        );
+        let num_vcs = self.cfg.vcs_per_port;
+        let Some(mask) = action.kept_idle_mask(num_vcs) else {
+            return; // NoChange
+        };
+        if let GateAction::KeepOneIdle { vc } = action {
+            assert!(vc < num_vcs, "designated VC {vc} out of range");
+        }
+        assert!(
+            num_vcs >= 32 || mask >> num_vcs == 0,
+            "designation mask {mask:#b} names VCs beyond {num_vcs}"
+        );
+        let keeps = |v: usize| mask & (1 << v) != 0;
+        let (up, down) = self.resolve(port);
+        // Upstream allocation eligibility.
+        {
+            let out_vcs = match up {
+                Upstream::RouterOut { node, port } => &mut self.routers[node].outputs[port].vcs,
+                Upstream::NicInject { node } => &mut self.nics[node].inject.vcs,
+            };
+            for (v, ov) in out_vcs.iter_mut().enumerate() {
+                ov.allocatable = keeps(v);
+            }
+        }
+        // Downstream power, derived from the same out VC states the policy
+        // saw: only idle VCs are ever gated.
+        let idle: Vec<bool> = match up {
+            Upstream::RouterOut { node, port } => self.routers[node].outputs[port]
+                .vcs
+                .iter()
+                .map(|v| v.state == OutVcState::Idle)
+                .collect(),
+            Upstream::NicInject { node } => self.nics[node]
+                .inject
+                .vcs
+                .iter()
+                .map(|v| v.state == OutVcState::Idle)
+                .collect(),
+        };
+        let mut woke: Vec<usize> = Vec::new();
+        {
+            let down_vcs = match down {
+                Downstream::RouterIn { node, port } => &mut self.routers[node].inputs[port].vcs,
+                Downstream::NicEject { node } => &mut self.nics[node].eject.vcs,
+            };
+            for (v, dvc) in down_vcs.iter_mut().enumerate() {
+                let want_on = if idle[v] { keeps(v) } else { dvc.powered };
+                if want_on && !dvc.powered {
+                    woke.push(v);
+                }
+                dvc.powered = want_on;
+                if !idle[v] {
+                    debug_assert!(dvc.powered, "busy VC must be powered");
+                }
+            }
+        }
+        // Sleep-transistor wake-up penalty: a freshly powered VC becomes
+        // allocatable only after `wakeup_latency` cycles.
+        if self.cfg.wakeup_latency > 0 && !woke.is_empty() {
+            let usable_at = self.cycle + self.cfg.wakeup_latency;
+            let out_vcs = match up {
+                Upstream::RouterOut { node, port } => &mut self.routers[node].outputs[port].vcs,
+                Upstream::NicInject { node } => &mut self.nics[node].inject.vcs,
+            };
+            for v in woke {
+                out_vcs[v].usable_at = usable_at;
+            }
+        }
+    }
+
+    /// First half of a cycle: absorb credits and deliver arriving flits
+    /// (buffer write + route computation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice without an intervening
+    /// [`finish_cycle`](Self::finish_cycle).
+    pub fn begin_cycle(&mut self) {
+        assert_eq!(self.phase, Phase::Idle, "begin_cycle called twice");
+        let now = self.cycle;
+        let depth = self.cfg.buffer_depth;
+        // Credits.
+        for router in &mut self.routers {
+            for out in &mut router.outputs {
+                out.absorb_credits(now, depth);
+            }
+        }
+        for nic in &mut self.nics {
+            nic.inject.absorb_credits(now, depth);
+        }
+        // Flit deliveries into router input buffers (BW + RC).
+        for r_idx in 0..self.routers.len() {
+            for p_idx in 0..NUM_PORTS {
+                loop {
+                    let unit = &mut self.routers[r_idx].inputs[p_idx];
+                    match unit.arrivals.front() {
+                        Some(&(when, _)) if when <= now => {}
+                        _ => break,
+                    }
+                    let (_, flit) = unit.arrivals.pop_front().expect("front checked");
+                    let is_head = flit.is_head();
+                    let (dst, vc_idx) = (flit.dst, flit.vc);
+                    unit.write_flit(flit, now, depth);
+                    if is_head {
+                        let outport = self.compute_route(r_idx, dst);
+                        self.routers[r_idx].inputs[p_idx].vcs[vc_idx].state =
+                            InVcState::Waiting { outport };
+                    }
+                }
+            }
+        }
+        // Flit deliveries into NIC ejection buffers.
+        for nic in &mut self.nics {
+            loop {
+                match nic.eject.arrivals.front() {
+                    Some(&(when, _)) if when <= now => {}
+                    _ => break,
+                }
+                let (_, flit) = nic.eject.arrivals.pop_front().expect("front checked");
+                let is_head = flit.is_head();
+                let vc_idx = flit.vc;
+                nic.eject.write_flit(flit, now, depth);
+                if is_head {
+                    nic.eject.vcs[vc_idx].state = InVcState::Waiting {
+                        outport: Direction::Local,
+                    };
+                }
+            }
+        }
+        self.phase = Phase::Mid;
+    }
+
+    /// The RC stage for one head flit: the configured algorithm's routing
+    /// decision, with credit-based adaptive selection when the algorithm
+    /// permits several productive directions (West-First).
+    fn compute_route(&self, r_idx: usize, dst: NodeId) -> Direction {
+        let dirs = self
+            .cfg
+            .routing
+            .allowed(&self.mesh, NodeId(r_idx), dst);
+        match dirs.len() {
+            0 => Direction::Local,
+            1 => dirs[0],
+            _ => dirs
+                .into_iter()
+                .max_by_key(|d| {
+                    // Prefer the output port with the most downstream
+                    // credits — the standard local-congestion heuristic.
+                    self.routers[r_idx].outputs[d.index()]
+                        .vcs
+                        .iter()
+                        .map(|v| v.credits)
+                        .sum::<usize>()
+                })
+                .expect("non-empty direction set"),
+        }
+    }
+
+    /// Second half of a cycle: VC allocation, switch allocation, switch and
+    /// link traversal, NIC injection and ejection. Advances the cycle
+    /// counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`begin_cycle`](Self::begin_cycle).
+    pub fn finish_cycle(&mut self) {
+        assert_eq!(self.phase, Phase::Mid, "finish_cycle before begin_cycle");
+        let now = self.cycle;
+        let depth = self.cfg.buffer_depth;
+        // VA + SA + traversal per router.
+        for r_idx in 0..self.routers.len() {
+            self.routers[r_idx].vc_allocation(now, depth);
+            let winners = self.routers[r_idx].switch_allocation(now);
+            for w in winners {
+                self.traverse(r_idx, w, now);
+            }
+        }
+        // NIC injection and ejection.
+        for n_idx in 0..self.nics.len() {
+            if let Some(flit) = self.nics[n_idx].process_inject(now) {
+                self.stats.flits_sent += 1;
+                let arrive = now + self.cfg.link_latency;
+                self.routers[n_idx].inputs[Direction::Local.index()]
+                    .arrivals
+                    .push_back((arrive, flit));
+            }
+            let (credits, done, drained) = self.nics[n_idx].drain_eject(now);
+            let when = now + self.cfg.credit_latency;
+            for c in credits {
+                self.routers[n_idx].outputs[Direction::Local.index()]
+                    .credit_arrivals
+                    .push_back((when, c));
+            }
+            self.stats.flits_ejected += drained as u64;
+            for pkt in done {
+                self.stats.packets_ejected += 1;
+                self.stats.record_latency(now - pkt.injected_at);
+            }
+        }
+        self.cycle += 1;
+        self.phase = Phase::Idle;
+    }
+
+    /// One full cycle with no gating changes (the NBTI-unaware baseline
+    /// leaves every buffer powered).
+    pub fn step(&mut self) {
+        self.begin_cycle();
+        self.finish_cycle();
+    }
+
+    /// Runs `n` full cycles.
+    pub fn step_cycles(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Moves one SA-winning flit through switch and link.
+    fn traverse(&mut self, r_idx: usize, w: SaWinner, now: u64) {
+        let flit = {
+            let ivc = &mut self.routers[r_idx].inputs[w.in_port].vcs[w.vc];
+            let flit = ivc.buffer.pop_front().expect("SA winner has a flit");
+            if flit.is_tail() {
+                debug_assert!(ivc.buffer.is_empty(), "tail is the last flit of its VC");
+                ivc.state = InVcState::Idle;
+            }
+            flit
+        };
+        let out = &mut self.routers[r_idx].outputs[w.out_port].vcs[w.out_vc];
+        debug_assert!(out.credits > 0, "SA granted without credits");
+        out.credits -= 1;
+        // Credit back to this input port's upstream agent.
+        let credit = Credit {
+            vc: w.vc,
+            is_free: flit.is_tail(),
+        };
+        let credit_when = now + self.cfg.credit_latency;
+        match Direction::from_index(w.in_port) {
+            Direction::Local => {
+                self.nics[r_idx]
+                    .inject
+                    .credit_arrivals
+                    .push_back((credit_when, credit));
+            }
+            d => {
+                let up = self
+                    .mesh
+                    .neighbor(NodeId(r_idx), d)
+                    .expect("traffic only arrives through connected ports");
+                self.routers[up.index()].outputs[d.opposite().index()]
+                    .credit_arrivals
+                    .push_back((credit_when, credit));
+            }
+        }
+        // Forward through switch (1 cycle) and link.
+        let mut flit = flit;
+        flit.vc = w.out_vc;
+        let arrive = now + 1 + self.cfg.link_latency;
+        match Direction::from_index(w.out_port) {
+            Direction::Local => {
+                self.nics[r_idx].eject.arrivals.push_back((arrive, flit));
+            }
+            d => {
+                let down = self
+                    .mesh
+                    .neighbor(NodeId(r_idx), d)
+                    .expect("routing never leaves the mesh");
+                self.routers[down.index()].inputs[d.opposite().index()]
+                    .arrivals
+                    .push_back((arrive, flit));
+            }
+        }
+    }
+
+    /// Total flits currently inside the network: router buffers, link
+    /// queues, ejection buffers and their links. NIC injection queues are
+    /// *not* included (those packets have not entered the network yet).
+    pub fn flits_in_network(&self) -> usize {
+        let routers: usize = self
+            .routers
+            .iter()
+            .map(|r| r.buffered_flits() + r.in_flight_flits())
+            .sum();
+        let ejects: usize = self
+            .nics
+            .iter()
+            .map(|n| n.eject.buffered_flits() + n.eject.in_flight_flits())
+            .sum();
+        routers + ejects
+    }
+
+    /// Flits of partially transmitted packets still inside source NICs.
+    pub fn flits_pending_injection(&self) -> usize {
+        self.nics
+            .iter()
+            .map(|n| {
+                let queued: usize = n.queue.iter().map(|p| p.len).sum();
+                let current = n.current.map(|tx| tx.packet.len - tx.next_seq).unwrap_or(0);
+                queued + current
+            })
+            .sum()
+    }
+
+    /// `true` when no traffic exists anywhere (network drained).
+    pub fn is_quiescent(&self) -> bool {
+        self.flits_in_network() == 0 && self.flits_pending_injection() == 0
+    }
+
+    /// Number of packets waiting in a node's injection queue.
+    pub fn nic_queue_len(&self, node: NodeId) -> usize {
+        self.nics[node.index()].queue.len()
+    }
+
+    /// Flits ever written into the buffers of a port (for
+    /// occupancy-related tests and sanity checks).
+    pub fn flits_received(&self, port: PortId) -> u64 {
+        match self.resolve(port).1 {
+            Downstream::RouterIn { node, port } => self.routers[node].inputs[port].flits_received,
+            Downstream::NicEject { node } => self.nics[node].eject.flits_received,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(cores: usize, vcs: usize) -> Network {
+        Network::new(NocConfig::paper_synthetic(cores, vcs)).unwrap()
+    }
+
+    #[test]
+    fn single_packet_is_delivered() {
+        let mut n = net(4, 2);
+        n.inject_packet(NodeId(0), NodeId(3));
+        for _ in 0..100 {
+            n.step();
+        }
+        assert_eq!(n.stats().packets_ejected, 1);
+        assert!(n.is_quiescent());
+        assert_eq!(n.stats().flits_sent, 5);
+        assert_eq!(n.stats().flits_ejected, 5);
+    }
+
+    #[test]
+    fn self_packet_is_delivered_via_local_turnaround() {
+        let mut n = net(4, 2);
+        n.inject_packet(NodeId(2), NodeId(2));
+        for _ in 0..50 {
+            n.step();
+        }
+        assert_eq!(n.stats().packets_ejected, 1);
+    }
+
+    #[test]
+    fn all_pairs_deliver() {
+        let mut n = net(16, 2);
+        for src in 0..16 {
+            for dst in 0..16 {
+                n.inject_packet(NodeId(src), NodeId(dst));
+            }
+        }
+        for _ in 0..5000 {
+            n.step();
+            if n.is_quiescent() {
+                break;
+            }
+        }
+        assert!(n.is_quiescent(), "network failed to drain");
+        assert_eq!(n.stats().packets_ejected, 256);
+        assert_eq!(n.stats().flits_ejected, 256 * 5);
+    }
+
+    #[test]
+    fn latency_grows_with_distance() {
+        let lat = |src: usize, dst: usize| {
+            let mut n = net(16, 2);
+            n.inject_packet(NodeId(src), NodeId(dst));
+            for _ in 0..200 {
+                n.step();
+            }
+            assert_eq!(n.stats().packets_ejected, 1);
+            n.stats().avg_latency().unwrap()
+        };
+        let near = lat(0, 1);
+        let far = lat(0, 15);
+        assert!(far > near, "6-hop path must take longer than 1-hop");
+        // Sanity: a 1-hop packet of 5 flits should complete within a few
+        // dozen cycles.
+        assert!(near < 30.0, "near latency = {near}");
+    }
+
+    #[test]
+    fn port_ids_cover_connected_ports_only() {
+        let n = net(4, 2);
+        let ids = n.port_ids();
+        // 2x2 mesh: each router has exactly 2 mesh neighbours, plus the
+        // local input and the NIC eject port: 4 * (2 + 1 + 1) = 16.
+        assert_eq!(ids.len(), 16);
+        assert!(ids.iter().all(
+            |p| !matches!(p.kind, PortKind::RouterInput(Direction::North) if p.node == NodeId(0))
+        ));
+    }
+
+    #[test]
+    fn views_report_new_traffic_and_statuses() {
+        let mut n = net(4, 2);
+        n.inject_packet(NodeId(0), NodeId(1));
+        n.begin_cycle();
+        // The NIC of node 0 has a queued packet: the local port pair sees
+        // new traffic.
+        let v = n.port_view(PortId::router_input(NodeId(0), Direction::Local));
+        assert!(v.new_traffic);
+        assert_eq!(v.vc_status, vec![VcStatus::IdleOn; 2]);
+        // Unrelated port: no traffic.
+        let v = n.port_view(PortId::router_input(NodeId(3), Direction::West));
+        assert!(!v.new_traffic);
+        n.finish_cycle();
+    }
+
+    #[test]
+    fn gating_blocks_and_designation_unblocks_injection() {
+        let mut n = net(4, 2);
+        let local0 = PortId::router_input(NodeId(0), Direction::Local);
+        n.inject_packet(NodeId(0), NodeId(1));
+        // Gate everything on the local pair: injection must stall.
+        for _ in 0..10 {
+            n.begin_cycle();
+            n.apply_gate(local0, GateAction::AllIdleOff);
+            n.finish_cycle();
+        }
+        assert_eq!(n.stats().flits_sent, 0);
+        assert_eq!(n.nic_queue_len(NodeId(0)), 1);
+        // Designate VC 1: the packet flows.
+        for _ in 0..60 {
+            n.begin_cycle();
+            n.apply_gate(local0, GateAction::KeepOneIdle { vc: 1 });
+            n.finish_cycle();
+        }
+        assert_eq!(n.stats().packets_ejected, 1);
+    }
+
+    #[test]
+    fn gated_idle_vcs_report_off_and_recover_on_allon() {
+        let mut n = net(4, 2);
+        let port = PortId::router_input(NodeId(0), Direction::East);
+        n.begin_cycle();
+        n.apply_gate(port, GateAction::AllIdleOff);
+        let v = n.port_view(port);
+        assert_eq!(v.vc_status, vec![VcStatus::Off; 2]);
+        n.apply_gate(port, GateAction::AllOn);
+        let v = n.port_view(port);
+        assert_eq!(v.vc_status, vec![VcStatus::IdleOn; 2]);
+        n.finish_cycle();
+    }
+
+    #[test]
+    fn keep_one_idle_designates_exactly_one() {
+        let mut n = net(4, 4);
+        let port = PortId::router_input(NodeId(0), Direction::East);
+        n.begin_cycle();
+        n.apply_gate(port, GateAction::KeepOneIdle { vc: 2 });
+        let v = n.port_view(port);
+        assert_eq!(
+            v.vc_status,
+            vec![
+                VcStatus::Off,
+                VcStatus::Off,
+                VcStatus::IdleOn,
+                VcStatus::Off
+            ]
+        );
+        n.finish_cycle();
+    }
+
+    #[test]
+    fn traffic_flows_through_single_designated_vc() {
+        // Stream many packets 0 -> 1 while keeping only VC 0 of every pair
+        // powered: everything must still deliver, single-file.
+        let mut n = net(4, 4);
+        for _ in 0..10 {
+            n.inject_packet(NodeId(0), NodeId(1));
+        }
+        for _ in 0..600 {
+            n.begin_cycle();
+            for pid in n.port_ids().to_vec() {
+                n.apply_gate(pid, GateAction::KeepOneIdle { vc: 0 });
+            }
+            n.finish_cycle();
+        }
+        assert_eq!(n.stats().packets_ejected, 10);
+        // Only VC 0 of the west input of router 1 ever saw flits.
+        let west1 = PortId::router_input(NodeId(1), Direction::West);
+        assert_eq!(n.flits_received(west1), 50);
+    }
+
+    #[test]
+    fn flit_conservation_holds_mid_flight() {
+        let mut n = net(16, 4);
+        for i in 0..50 {
+            n.inject_packet(NodeId(i % 16), NodeId((i * 7 + 3) % 16));
+        }
+        for _ in 0..40 {
+            n.step();
+            let sent = n.stats().flits_sent as usize;
+            let ejected = n.stats().flits_ejected as usize;
+            assert_eq!(sent - ejected, n.flits_in_network());
+        }
+    }
+
+    #[test]
+    fn keep_idle_mask_designates_a_set() {
+        let mut n = net(4, 4);
+        let port = PortId::router_input(NodeId(0), Direction::East);
+        n.begin_cycle();
+        n.apply_gate(port, GateAction::KeepIdle { mask: 0b1010 });
+        let v = n.port_view(port);
+        assert_eq!(
+            v.vc_status,
+            vec![
+                VcStatus::Off,
+                VcStatus::IdleOn,
+                VcStatus::Off,
+                VcStatus::IdleOn
+            ]
+        );
+        n.finish_cycle();
+    }
+
+    #[test]
+    fn keep_one_idle_equals_singleton_mask() {
+        let mut a = net(4, 4);
+        let mut b = net(4, 4);
+        let port = PortId::router_input(NodeId(0), Direction::East);
+        a.begin_cycle();
+        a.apply_gate(port, GateAction::KeepOneIdle { vc: 2 });
+        b.begin_cycle();
+        b.apply_gate(port, GateAction::KeepIdle { mask: 1 << 2 });
+        assert_eq!(a.port_view(port).vc_status, b.port_view(port).vc_status);
+        a.finish_cycle();
+        b.finish_cycle();
+    }
+
+    #[test]
+    fn no_change_leaves_state_alone() {
+        let mut n = net(4, 2);
+        let port = PortId::router_input(NodeId(0), Direction::East);
+        n.begin_cycle();
+        n.apply_gate(port, GateAction::KeepOneIdle { vc: 1 });
+        let before = n.port_view(port).vc_status;
+        n.apply_gate(port, GateAction::NoChange);
+        assert_eq!(n.port_view(port).vc_status, before);
+        n.finish_cycle();
+    }
+
+    #[test]
+    #[should_panic(expected = "names VCs beyond")]
+    fn oversized_mask_panics() {
+        let mut n = net(4, 2);
+        n.begin_cycle();
+        n.apply_gate(
+            PortId::router_input(NodeId(0), Direction::East),
+            GateAction::KeepIdle { mask: 0b100 },
+        );
+    }
+
+    #[test]
+    fn eject_ports_are_gateable_too() {
+        let mut n = net(4, 2);
+        let eject = PortId::nic_eject(NodeId(2));
+        n.begin_cycle();
+        n.apply_gate(eject, GateAction::AllIdleOff);
+        assert_eq!(n.port_view(eject).vc_status, vec![VcStatus::Off; 2]);
+        n.finish_cycle();
+        // Designating one VC lets traffic eject again.
+        n.inject_packet(NodeId(0), NodeId(2));
+        for _ in 0..100 {
+            n.begin_cycle();
+            n.apply_gate(eject, GateAction::KeepOneIdle { vc: 0 });
+            n.finish_cycle();
+        }
+        assert_eq!(n.stats().packets_ejected, 1);
+    }
+
+    #[test]
+    fn wakeup_latency_delays_allocation() {
+        let flits_sent_by = |wakeup: u64, cycles: u64| {
+            let mut cfg = NocConfig::paper_synthetic(4, 2);
+            cfg.wakeup_latency = wakeup;
+            let mut n = Network::new(cfg).unwrap();
+            let local0 = PortId::router_input(NodeId(0), Direction::Local);
+            // Start with the pair fully gated, then designate VC 0 forever.
+            n.begin_cycle();
+            n.apply_gate(local0, GateAction::AllIdleOff);
+            n.finish_cycle();
+            n.inject_packet(NodeId(0), NodeId(1));
+            for _ in 0..cycles {
+                n.begin_cycle();
+                n.apply_gate(local0, GateAction::KeepOneIdle { vc: 0 });
+                n.finish_cycle();
+            }
+            n.stats().flits_sent
+        };
+        // With zero wake-up the first flit leaves within a couple of
+        // cycles; with an 8-cycle wake-up nothing can leave before it.
+        assert!(flits_sent_by(0, 4) > 0);
+        assert_eq!(flits_sent_by(8, 6), 0);
+        assert!(flits_sent_by(8, 20) > 0, "traffic must flow after wake-up");
+    }
+
+    #[test]
+    fn wakeup_latency_preserves_delivery() {
+        let mut cfg = NocConfig::paper_synthetic(4, 2);
+        cfg.wakeup_latency = 4;
+        let mut n = Network::new(cfg).unwrap();
+        for _ in 0..5 {
+            n.inject_packet(NodeId(0), NodeId(3));
+        }
+        for c in 0..1_000u64 {
+            n.begin_cycle();
+            for pid in n.port_ids().to_vec() {
+                // A stable designation per port (avoids rotating faster
+                // than the wake-up, which would starve).
+                let _ = c;
+                n.apply_gate(pid, GateAction::KeepOneIdle { vc: 1 });
+            }
+            n.finish_cycle();
+            if n.is_quiescent() {
+                break;
+            }
+        }
+        assert_eq!(n.stats().packets_ejected, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "begin_cycle called twice")]
+    fn double_begin_panics() {
+        let mut n = net(4, 2);
+        n.begin_cycle();
+        n.begin_cycle();
+    }
+
+    #[test]
+    #[should_panic(expected = "apply_gate must run between")]
+    fn gate_outside_window_panics() {
+        let mut n = net(4, 2);
+        n.apply_gate(
+            PortId::router_input(NodeId(0), Direction::East),
+            GateAction::AllIdleOff,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no upstream link")]
+    fn view_of_boundary_port_panics() {
+        let n = net(4, 2);
+        let _ = n.port_view(PortId::router_input(NodeId(0), Direction::North));
+    }
+}

@@ -1,0 +1,269 @@
+//! The tile network interface (NIC).
+//!
+//! The injection side queues whole packets, performs VC allocation on the
+//! router's local input port (acting as that port's *upstream agent*, with
+//! its own output VC state), and streams one flit per cycle subject to
+//! credits. The ejection side owns the buffers fed by the router's local
+//! output port and drains one flit per VC per cycle, returning credits.
+
+use crate::flit::{Flit, FlitKind, PacketId};
+use crate::types::NodeId;
+use crate::unit::{Credit, InVcState, InputUnit, OutVcState, OutputUnit};
+use std::collections::VecDeque;
+
+/// A packet queued for injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PendingPacket {
+    pub id: PacketId,
+    pub dst: NodeId,
+    pub len: usize,
+    pub queued_at: u64,
+}
+
+/// A packet currently being streamed into the router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct TxState {
+    pub packet: PendingPacket,
+    pub next_seq: usize,
+    pub out_vc: usize,
+}
+
+/// A packet that completed ejection this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct EjectedPacket {
+    pub id: PacketId,
+    pub src: NodeId,
+    pub injected_at: u64,
+}
+
+/// One tile's network interface.
+#[derive(Debug, Clone)]
+pub(crate) struct Nic {
+    pub node: NodeId,
+    /// Packets waiting for injection (none of them has a VC yet — exactly
+    /// the paper's *new packet* notion for the local port pair).
+    pub queue: VecDeque<PendingPacket>,
+    /// The packet currently streaming, if any.
+    pub current: Option<TxState>,
+    /// Output VC state towards the router's local input port.
+    pub inject: OutputUnit,
+    /// Ejection buffers, fed by the router's local output port.
+    pub eject: InputUnit,
+}
+
+impl Nic {
+    pub fn new(node: NodeId, num_vcs: usize, depth: usize) -> Self {
+        Nic {
+            node,
+            queue: VecDeque::new(),
+            current: None,
+            inject: OutputUnit::new(num_vcs, depth, 1, true),
+            eject: InputUnit::new(num_vcs, depth, true),
+        }
+    }
+
+    /// `true` when a queued packet has no VC allocated yet.
+    pub fn has_new_traffic(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    /// Runs the injection side for one cycle: allocate a VC for the queue
+    /// head if possible, then stream one flit if credits allow. Returns the
+    /// flit to deliver to the router's local input port (the caller
+    /// schedules it `link_latency` cycles ahead).
+    pub fn process_inject(&mut self, now: u64) -> Option<Flit> {
+        if self.current.is_none() {
+            if let Some(&head) = self.queue.front() {
+                let grant = self.inject.vcs.iter().position(|v| {
+                    v.state == OutVcState::Idle && v.allocatable && v.usable_at <= now
+                });
+                if let Some(ovc) = grant {
+                    self.queue.pop_front();
+                    self.inject.vcs[ovc].state = OutVcState::Active;
+                    self.current = Some(TxState {
+                        packet: head,
+                        next_seq: 0,
+                        out_vc: ovc,
+                    });
+                }
+            }
+        }
+        let tx = self.current.as_mut()?;
+        let out = &mut self.inject.vcs[tx.out_vc];
+        if out.credits == 0 {
+            return None;
+        }
+        out.credits -= 1;
+        let len = tx.packet.len;
+        let kind = if len == 1 {
+            FlitKind::HeadTail
+        } else if tx.next_seq == 0 {
+            FlitKind::Head
+        } else if tx.next_seq == len - 1 {
+            FlitKind::Tail
+        } else {
+            FlitKind::Body
+        };
+        let mut flit = Flit::new(
+            tx.packet.id,
+            kind,
+            self.node,
+            tx.packet.dst,
+            tx.next_seq as u32,
+            tx.packet.queued_at,
+        );
+        flit.vc = tx.out_vc;
+        tx.next_seq += 1;
+        if tx.next_seq == len {
+            self.current = None;
+        }
+        Some(flit)
+    }
+
+    /// Runs the ejection side for one cycle: drains at most one arrived
+    /// flit per VC. Returns the credits to send to the router's local
+    /// output port and the packets completed this cycle.
+    pub fn drain_eject(&mut self, now: u64) -> (Vec<Credit>, Vec<EjectedPacket>, usize) {
+        let mut credits = Vec::new();
+        let mut done = Vec::new();
+        let mut drained = 0usize;
+        for (vc_idx, vc) in self.eject.vcs.iter_mut().enumerate() {
+            let ready = vc
+                .buffer
+                .front()
+                .map(|f| f.ready_at <= now)
+                .unwrap_or(false);
+            if !ready {
+                continue;
+            }
+            let flit = vc.buffer.pop_front().expect("front checked");
+            drained += 1;
+            credits.push(Credit {
+                vc: vc_idx,
+                is_free: flit.is_tail(),
+            });
+            if flit.is_tail() {
+                debug_assert!(vc.buffer.is_empty(), "tail must be the last flit");
+                vc.state = InVcState::Idle;
+                done.push(EjectedPacket {
+                    id: flit.packet,
+                    src: flit.src,
+                    injected_at: flit.injected_at,
+                });
+            }
+        }
+        (credits, done, drained)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nic() -> Nic {
+        Nic::new(NodeId(0), 2, 4)
+    }
+
+    fn queue_packet(n: &mut Nic, id: u64, len: usize) {
+        n.queue.push_back(PendingPacket {
+            id: PacketId(id),
+            dst: NodeId(1),
+            len,
+            queued_at: 0,
+        });
+    }
+
+    #[test]
+    fn injection_allocates_then_streams() {
+        let mut n = nic();
+        queue_packet(&mut n, 1, 3);
+        assert!(n.has_new_traffic());
+        let f0 = n.process_inject(0).expect("head sent");
+        assert_eq!(f0.kind, FlitKind::Head);
+        assert!(!n.has_new_traffic(), "allocated packet is not new traffic");
+        let f1 = n.process_inject(1).expect("body sent");
+        assert_eq!(f1.kind, FlitKind::Body);
+        let f2 = n.process_inject(2).expect("tail sent");
+        assert_eq!(f2.kind, FlitKind::Tail);
+        assert!(n.current.is_none());
+        // Out VC stays active until the free credit returns.
+        assert_eq!(n.inject.vcs[0].state, OutVcState::Active);
+        assert_eq!(n.inject.vcs[0].credits, 1);
+    }
+
+    #[test]
+    fn injection_blocked_without_allocatable_vc() {
+        let mut n = nic();
+        for vc in &mut n.inject.vcs {
+            vc.allocatable = false;
+        }
+        queue_packet(&mut n, 1, 2);
+        assert!(n.process_inject(0).is_none());
+        assert!(n.has_new_traffic(), "still waiting for a VC");
+        n.inject.vcs[1].allocatable = true;
+        let f = n.process_inject(1).expect("granted on VC 1");
+        assert_eq!(f.vc, 1);
+    }
+
+    #[test]
+    fn injection_respects_credits() {
+        let mut n = nic();
+        queue_packet(&mut n, 1, 8);
+        for c in 0..4 {
+            assert!(n.process_inject(c).is_some());
+        }
+        // Buffer depth 4: credits exhausted.
+        assert!(n.process_inject(4).is_none());
+        // A returned credit lets the next flit go.
+        n.inject.vcs[0].credits += 1;
+        assert!(n.process_inject(5).is_some());
+    }
+
+    #[test]
+    fn single_flit_packet_is_headtail() {
+        let mut n = nic();
+        queue_packet(&mut n, 1, 1);
+        let f = n.process_inject(0).unwrap();
+        assert_eq!(f.kind, FlitKind::HeadTail);
+        assert!(n.current.is_none());
+    }
+
+    #[test]
+    fn eject_drains_one_flit_per_vc_and_completes_packets() {
+        let mut n = nic();
+        let flits = crate::flit::split_packet(PacketId(7), NodeId(3), NodeId(0), 2, 5);
+        for (i, mut f) in flits.into_iter().enumerate() {
+            f.vc = 0;
+            n.eject.write_flit(f, 10 + i as u64, 4);
+            n.eject.vcs[0].state = InVcState::Waiting {
+                outport: crate::types::Direction::Local,
+            };
+        }
+        // Head drained first (ready at 11).
+        let (credits, done, drained) = n.drain_eject(11);
+        assert_eq!(drained, 1);
+        assert_eq!(credits.len(), 1);
+        assert!(!credits[0].is_free);
+        assert!(done.is_empty());
+        // Tail next (ready at 12): packet completes, VC freed.
+        let (credits, done, _) = n.drain_eject(12);
+        assert!(credits[0].is_free);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, PacketId(7));
+        assert_eq!(done[0].injected_at, 5);
+        assert_eq!(n.eject.vcs[0].state, InVcState::Idle);
+    }
+
+    #[test]
+    fn eject_waits_for_arrival_cycle() {
+        let mut n = nic();
+        let mut f = crate::flit::split_packet(PacketId(7), NodeId(3), NodeId(0), 1, 0)[0];
+        f.vc = 1;
+        n.eject.write_flit(f, 20, 4);
+        let (_, _, drained) = n.drain_eject(20);
+        assert_eq!(drained, 0, "flit only ready at cycle 21");
+        let (_, done, drained) = n.drain_eject(21);
+        assert_eq!(drained, 1);
+        assert_eq!(done.len(), 1);
+    }
+}

@@ -1,0 +1,337 @@
+//! The 3-stage virtual-channel router.
+//!
+//! Pipeline (mirroring the Garnet `Router_d` the paper builds on):
+//!
+//! 1. **BW + RC** — an arriving flit is written into its input VC buffer;
+//!    head flits are routed (dimension-ordered).
+//! 2. **VA + SA** — head flits in `Waiting` VCs arbitrate for a free output
+//!    VC; VCs in `Active` state with a ready flit and downstream credits
+//!    arbitrate for the crossbar (separable input-first allocator).
+//! 3. **ST + LT** — the winning flits traverse switch and link; they are
+//!    written downstream `1 + link_latency` cycles after winning SA.
+//!
+//! Stage 1 and the cross-router parts of stage 3 live in
+//! [`crate::network::Network`]; this module owns the router-local state and
+//! the VA/SA logic.
+
+use crate::arbiter::RoundRobinArbiter;
+use crate::types::Direction;
+use crate::unit::{InVcState, InputUnit, OutVcState, OutputUnit};
+
+/// Number of ports (N, S, E, W, Local).
+pub(crate) const NUM_PORTS: usize = 5;
+
+/// A flit selected by the switch allocator this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SaWinner {
+    pub in_port: usize,
+    pub vc: usize,
+    pub out_port: usize,
+    pub out_vc: usize,
+}
+
+/// One router of the mesh.
+#[derive(Debug, Clone)]
+pub(crate) struct Router {
+    /// Input units indexed by [`Direction::index`].
+    pub inputs: Vec<InputUnit>,
+    /// Output units indexed by [`Direction::index`].
+    pub outputs: Vec<OutputUnit>,
+    /// Per-input-port switch-allocation arbiters (over VCs).
+    sa_in_arbs: Vec<RoundRobinArbiter>,
+}
+
+impl Router {
+    /// Creates a router. `connected[d]` tells whether the mesh port in
+    /// direction `d` has a neighbour; the local port is always connected.
+    pub fn new(num_vcs: usize, depth: usize, connected: [bool; NUM_PORTS]) -> Self {
+        Router {
+            inputs: (0..NUM_PORTS)
+                .map(|p| InputUnit::new(num_vcs, depth, connected[p]))
+                .collect(),
+            outputs: (0..NUM_PORTS)
+                .map(|p| OutputUnit::new(num_vcs, depth, NUM_PORTS, connected[p]))
+                .collect(),
+            sa_in_arbs: (0..NUM_PORTS)
+                .map(|_| RoundRobinArbiter::new(num_vcs))
+                .collect(),
+        }
+    }
+
+    /// Number of VCs per port.
+    pub fn num_vcs(&self) -> usize {
+        self.inputs[0].vcs.len()
+    }
+
+    /// `true` when at least one buffered head flit routed to `out_dir` has
+    /// no output VC allocated yet — the paper's
+    /// `is_new_traffic_outport_x()` predicate.
+    pub fn has_new_traffic(&self, out_dir: Direction) -> bool {
+        self.inputs.iter().any(|unit| {
+            unit.vcs
+                .iter()
+                .any(|vc| matches!(vc.state, InVcState::Waiting { outport } if outport == out_dir))
+        })
+    }
+
+    /// The VA stage: grants free, allocatable output VCs to waiting head
+    /// flits. Under a gating policy at most one output VC per port is
+    /// allocatable, matching the paper's single-new-VC-per-cycle property.
+    pub fn vc_allocation(&mut self, now: u64, depth: usize) {
+        let num_vcs = self.num_vcs();
+        let inputs = &mut self.inputs;
+        for (out_idx, out) in self.outputs.iter_mut().enumerate() {
+            if !out.connected {
+                continue;
+            }
+            let out_dir = Direction::from_index(out_idx);
+            while let Some(ovc) = out
+                .vcs
+                .iter()
+                .position(|v| v.state == OutVcState::Idle && v.allocatable && v.usable_at <= now)
+            {
+                let inputs_ref = &*inputs;
+                let grant = out.va_arb.grant(|g| {
+                    let (p, v) = (g / num_vcs, g % num_vcs);
+                    let ivc = &inputs_ref.vcs_at(p, v);
+                    ivc.va_ready_at <= now
+                        && matches!(ivc.state, InVcState::Waiting { outport } if outport == out_dir)
+                });
+                let Some(g) = grant else { break };
+                let (p, v) = (g / num_vcs, g % num_vcs);
+                let ivc = &mut inputs[p].vcs[v];
+                let InVcState::Waiting { outport } = ivc.state else {
+                    unreachable!("VA granted a non-waiting VC");
+                };
+                ivc.state = InVcState::Active {
+                    outport,
+                    out_vc: ovc,
+                };
+                debug_assert_eq!(
+                    out.vcs[ovc].credits, depth,
+                    "an idle out VC must hold all its credits"
+                );
+                out.vcs[ovc].state = OutVcState::Active;
+            }
+        }
+    }
+
+    /// The SA stage: a separable, input-first allocator. Returns at most
+    /// one winner per input port and per output port.
+    #[allow(clippy::needless_range_loop)] // `p` indexes three parallel arrays
+    pub fn switch_allocation(&mut self, now: u64) -> Vec<SaWinner> {
+        let num_ports = self.inputs.len();
+        // Input phase: each input port nominates one ready VC.
+        let mut nominees: Vec<Option<SaWinner>> = vec![None; num_ports];
+        for p in 0..num_ports {
+            let unit = &self.inputs[p];
+            let outputs = &self.outputs;
+            let got = self.sa_in_arbs[p].grant(|v| {
+                let ivc = &unit.vcs[v];
+                let InVcState::Active { outport, out_vc } = ivc.state else {
+                    return false;
+                };
+                match ivc.buffer.front() {
+                    Some(front) => {
+                        front.ready_at <= now && outputs[outport.index()].vcs[out_vc].credits > 0
+                    }
+                    None => false,
+                }
+            });
+            if let Some(v) = got {
+                let InVcState::Active { outport, out_vc } = unit.vcs[v].state else {
+                    unreachable!();
+                };
+                nominees[p] = Some(SaWinner {
+                    in_port: p,
+                    vc: v,
+                    out_port: outport.index(),
+                    out_vc,
+                });
+            }
+        }
+        // Output phase: each output port admits one nominee.
+        let mut winners = Vec::new();
+        for out_idx in 0..num_ports {
+            let nominees_ref = &nominees;
+            let got = self.outputs[out_idx]
+                .sa_arb
+                .grant(|p| matches!(nominees_ref[p], Some(w) if w.out_port == out_idx));
+            if let Some(p) = got {
+                winners.push(nominees[p].expect("granted nominee exists"));
+            }
+        }
+        winners
+    }
+
+    /// Total flits buffered across all input units.
+    pub fn buffered_flits(&self) -> usize {
+        self.inputs.iter().map(|u| u.buffered_flits()).sum()
+    }
+
+    /// Total flits in flight on incoming links.
+    pub fn in_flight_flits(&self) -> usize {
+        self.inputs.iter().map(|u| u.in_flight_flits()).sum()
+    }
+}
+
+/// Helper to express "index twice" inside the VA closure without capturing
+/// a mutable borrow.
+trait VcsAt {
+    fn vcs_at(&self, port: usize, vc: usize) -> &crate::unit::InputVc;
+}
+
+impl VcsAt for Vec<InputUnit> {
+    fn vcs_at(&self, port: usize, vc: usize) -> &crate::unit::InputVc {
+        &self[port].vcs[vc]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::{split_packet, PacketId};
+    use crate::types::NodeId;
+
+    fn router(num_vcs: usize) -> Router {
+        Router::new(num_vcs, 4, [true; NUM_PORTS])
+    }
+
+    fn put_waiting_head(r: &mut Router, in_port: usize, vc: usize, outport: Direction, now: u64) {
+        let mut f = split_packet(PacketId(vc as u64 + 100), NodeId(0), NodeId(1), 3, 0)[0];
+        f.vc = vc;
+        r.inputs[in_port].write_flit(f, now, 4);
+        r.inputs[in_port].vcs[vc].state = InVcState::Waiting { outport };
+    }
+
+    #[test]
+    fn new_traffic_predicate_sees_waiting_heads() {
+        let mut r = router(2);
+        assert!(!r.has_new_traffic(Direction::East));
+        put_waiting_head(&mut r, Direction::West.index(), 0, Direction::East, 0);
+        assert!(r.has_new_traffic(Direction::East));
+        assert!(!r.has_new_traffic(Direction::North));
+        // Allocated VCs no longer count as new traffic.
+        r.inputs[Direction::West.index()].vcs[0].state = InVcState::Active {
+            outport: Direction::East,
+            out_vc: 0,
+        };
+        assert!(!r.has_new_traffic(Direction::East));
+    }
+
+    #[test]
+    fn va_grants_free_allocatable_vc() {
+        let mut r = router(2);
+        put_waiting_head(&mut r, Direction::West.index(), 0, Direction::East, 0);
+        r.vc_allocation(1, 4);
+        let st = r.inputs[Direction::West.index()].vcs[0].state;
+        assert!(matches!(
+            st,
+            InVcState::Active {
+                outport: Direction::East,
+                out_vc: 0
+            }
+        ));
+        assert_eq!(
+            r.outputs[Direction::East.index()].vcs[0].state,
+            OutVcState::Active
+        );
+    }
+
+    #[test]
+    fn va_respects_va_ready_cycle() {
+        let mut r = router(2);
+        put_waiting_head(&mut r, Direction::West.index(), 0, Direction::East, 5);
+        // va_ready_at is 6; VA at cycle 5 must not grant.
+        r.vc_allocation(5, 4);
+        assert!(matches!(
+            r.inputs[Direction::West.index()].vcs[0].state,
+            InVcState::Waiting { .. }
+        ));
+        r.vc_allocation(6, 4);
+        assert!(matches!(
+            r.inputs[Direction::West.index()].vcs[0].state,
+            InVcState::Active { .. }
+        ));
+    }
+
+    #[test]
+    fn va_respects_allocatable_mask() {
+        let mut r = router(2);
+        put_waiting_head(&mut r, Direction::West.index(), 0, Direction::East, 0);
+        for vc in &mut r.outputs[Direction::East.index()].vcs {
+            vc.allocatable = false;
+        }
+        r.vc_allocation(1, 4);
+        assert!(matches!(
+            r.inputs[Direction::West.index()].vcs[0].state,
+            InVcState::Waiting { .. }
+        ));
+        // Re-enable only VC 1: the head must land there.
+        r.outputs[Direction::East.index()].vcs[1].allocatable = true;
+        r.vc_allocation(2, 4);
+        assert!(matches!(
+            r.inputs[Direction::West.index()].vcs[0].state,
+            InVcState::Active { out_vc: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn va_is_fair_across_requesters() {
+        let mut r = router(2);
+        // Two waiting heads from different ports racing for East.
+        put_waiting_head(&mut r, Direction::West.index(), 0, Direction::East, 0);
+        put_waiting_head(&mut r, Direction::North.index(), 0, Direction::East, 0);
+        r.vc_allocation(1, 4);
+        // Both get VCs this cycle (two free out VCs under AllOn).
+        assert!(matches!(
+            r.inputs[Direction::North.index()].vcs[0].state,
+            InVcState::Active { .. }
+        ));
+        assert!(matches!(
+            r.inputs[Direction::West.index()].vcs[0].state,
+            InVcState::Active { .. }
+        ));
+    }
+
+    #[test]
+    fn sa_moves_at_most_one_flit_per_output() {
+        let mut r = router(2);
+        put_waiting_head(&mut r, Direction::West.index(), 0, Direction::East, 0);
+        put_waiting_head(&mut r, Direction::North.index(), 0, Direction::East, 0);
+        r.vc_allocation(1, 4);
+        let winners = r.switch_allocation(1);
+        assert_eq!(winners.len(), 1, "one grant per output port");
+        assert_eq!(winners[0].out_port, Direction::East.index());
+    }
+
+    #[test]
+    fn sa_requires_credits() {
+        let mut r = router(2);
+        put_waiting_head(&mut r, Direction::West.index(), 0, Direction::East, 0);
+        r.vc_allocation(1, 4);
+        r.outputs[Direction::East.index()].vcs[0].credits = 0;
+        assert!(r.switch_allocation(1).is_empty());
+    }
+
+    #[test]
+    fn sa_respects_flit_readiness() {
+        let mut r = router(2);
+        put_waiting_head(&mut r, Direction::West.index(), 0, Direction::East, 10);
+        r.vc_allocation(11, 4);
+        // Flit ready_at = 11; SA at 10 would be too early (cannot happen in
+        // practice, but the guard must hold).
+        assert!(r.switch_allocation(10).is_empty());
+        assert_eq!(r.switch_allocation(11).len(), 1);
+    }
+
+    #[test]
+    fn distinct_outputs_proceed_in_parallel() {
+        let mut r = router(2);
+        put_waiting_head(&mut r, Direction::West.index(), 0, Direction::East, 0);
+        put_waiting_head(&mut r, Direction::East.index(), 0, Direction::West, 0);
+        r.vc_allocation(1, 4);
+        let winners = r.switch_allocation(1);
+        assert_eq!(winners.len(), 2);
+    }
+}

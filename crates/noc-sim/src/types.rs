@@ -1,0 +1,148 @@
+//! Fundamental identifier and direction types.
+
+use std::fmt;
+
+/// Identifies one tile (router + network interface) of the mesh.
+///
+/// Nodes are numbered row-major: node `y * cols + x` sits at column `x`,
+/// row `y`. Router 0 is the *upper-left* router of the paper's figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// The raw index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        NodeId(v)
+    }
+}
+
+/// A router port direction.
+///
+/// The four mesh directions plus the `Local` port connecting the router to
+/// its tile's network interface (NIC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Direction {
+    /// Towards decreasing row index (up in the paper's figures).
+    North,
+    /// Towards increasing row index.
+    South,
+    /// Towards increasing column index.
+    East,
+    /// Towards decreasing column index.
+    West,
+    /// The tile-local port (network interface).
+    Local,
+}
+
+impl Direction {
+    /// All five directions in canonical (index) order.
+    pub const ALL: [Direction; 5] = [
+        Direction::North,
+        Direction::South,
+        Direction::East,
+        Direction::West,
+        Direction::Local,
+    ];
+
+    /// The four mesh directions (no `Local`).
+    pub const MESH: [Direction; 4] = [
+        Direction::North,
+        Direction::South,
+        Direction::East,
+        Direction::West,
+    ];
+
+    /// Canonical port index in `0..5`.
+    pub const fn index(self) -> usize {
+        match self {
+            Direction::North => 0,
+            Direction::South => 1,
+            Direction::East => 2,
+            Direction::West => 3,
+            Direction::Local => 4,
+        }
+    }
+
+    /// Builds a direction from its canonical index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 5`.
+    pub fn from_index(idx: usize) -> Direction {
+        Direction::ALL[idx]
+    }
+
+    /// The opposite mesh direction. A link leaving a router through its
+    /// `East` output port enters the neighbour through its `West` input
+    /// port, and so on.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`Direction::Local`], which has no opposite.
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::North => Direction::South,
+            Direction::South => Direction::North,
+            Direction::East => Direction::West,
+            Direction::West => Direction::East,
+            Direction::Local => panic!("the local port has no opposite direction"),
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Direction::North => "N",
+            Direction::South => "S",
+            Direction::East => "E",
+            Direction::West => "W",
+            Direction::Local => "L",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_index_round_trips() {
+        for d in Direction::ALL {
+            assert_eq!(Direction::from_index(d.index()), d);
+        }
+    }
+
+    #[test]
+    fn opposites_pair_up() {
+        for d in Direction::MESH {
+            assert_eq!(d.opposite().opposite(), d);
+            assert_ne!(d.opposite(), d);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no opposite")]
+    fn local_has_no_opposite() {
+        let _ = Direction::Local.opposite();
+    }
+
+    #[test]
+    fn node_display_matches_paper_naming() {
+        assert_eq!(NodeId(5).to_string(), "r5");
+        assert_eq!(NodeId::from(3).index(), 3);
+    }
+}

@@ -1,0 +1,339 @@
+//! Input and output units of routers and NICs (crate-internal).
+//!
+//! An *input unit* owns the VC buffers of one input port plus the arrival
+//! queue of the link feeding it. An *output unit* owns the output VC state —
+//! the upstream-side mirror of the downstream input unit's VCs that the
+//! paper's algorithms operate on — plus the credit-return queue.
+
+use crate::arbiter::RoundRobinArbiter;
+use crate::flit::Flit;
+use crate::types::Direction;
+use std::collections::VecDeque;
+
+/// A credit returned upstream when a flit leaves a downstream buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Credit {
+    /// The downstream VC the credit refers to.
+    pub vc: usize,
+    /// Set when the departing flit was a tail: the downstream VC is now
+    /// idle and the upstream output VC state may return to `Idle`.
+    pub is_free: bool,
+}
+
+/// Allocation state of one input VC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum InVcState {
+    /// No packet.
+    Idle,
+    /// A head flit is buffered and routed; waiting for VC allocation of the
+    /// downstream output VC.
+    Waiting { outport: Direction },
+    /// Allocated: flits flow towards `outport` on downstream VC `out_vc`.
+    Active { outport: Direction, out_vc: usize },
+}
+
+/// One virtual-channel buffer of an input port.
+#[derive(Debug, Clone)]
+pub(crate) struct InputVc {
+    pub buffer: VecDeque<Flit>,
+    pub state: InVcState,
+    /// Power-gating state: `false` means the buffer is switched off
+    /// (NBTI recovery). Only idle VCs may be gated.
+    pub powered: bool,
+    /// Earliest cycle at which a buffered head flit may compete for VC
+    /// allocation.
+    pub va_ready_at: u64,
+}
+
+impl InputVc {
+    fn new(depth: usize) -> Self {
+        InputVc {
+            buffer: VecDeque::with_capacity(depth),
+            state: InVcState::Idle,
+            powered: true,
+            va_ready_at: 0,
+        }
+    }
+}
+
+/// The VC buffers of one input port together with the arrival queue of the
+/// link feeding them.
+#[derive(Debug, Clone)]
+pub(crate) struct InputUnit {
+    pub vcs: Vec<InputVc>,
+    /// Flits in flight on the incoming link: `(arrival_cycle, flit)` in
+    /// FIFO order (the link is serial, so arrival cycles are monotone).
+    pub arrivals: VecDeque<(u64, Flit)>,
+    /// Total flits written into this unit's buffers.
+    pub flits_received: u64,
+}
+
+impl InputUnit {
+    pub fn new(num_vcs: usize, depth: usize, connected: bool) -> Self {
+        let mut unit = InputUnit {
+            vcs: (0..num_vcs).map(|_| InputVc::new(depth)).collect(),
+            arrivals: VecDeque::new(),
+            flits_received: 0,
+        };
+        if !connected {
+            // Boundary ports never receive traffic; keep them gated so they
+            // do not accumulate fake NBTI stress. They are also excluded
+            // from the policy interface.
+            for vc in &mut unit.vcs {
+                vc.powered = false;
+            }
+        }
+        unit
+    }
+
+    /// Writes one delivered flit into its VC buffer (the BW stage), without
+    /// route computation (the caller handles RC where a route is needed).
+    ///
+    /// Enforces the structural invariants: the target VC must be powered,
+    /// must have space, and must not mix packets.
+    pub fn write_flit(&mut self, mut flit: Flit, now: u64, depth: usize) -> &mut InputVc {
+        let vc = &mut self.vcs[flit.vc];
+        assert!(
+            vc.powered,
+            "flit {:?} delivered to a power-gated VC {}",
+            flit.packet, flit.vc
+        );
+        assert!(
+            vc.buffer.len() < depth,
+            "buffer overflow on VC {} (credit protocol violated)",
+            flit.vc
+        );
+        if flit.is_head() {
+            assert!(
+                matches!(vc.state, InVcState::Idle) && vc.buffer.is_empty(),
+                "head flit arrived at a non-idle VC (packet mixing)"
+            );
+            vc.va_ready_at = now + 1;
+        } else {
+            assert!(
+                !matches!(vc.state, InVcState::Idle),
+                "body/tail flit arrived at an idle VC"
+            );
+            let same_packet = vc
+                .buffer
+                .back()
+                .map(|f| f.packet == flit.packet)
+                .unwrap_or(true);
+            assert!(same_packet, "packet mixing within a VC buffer");
+        }
+        flit.ready_at = now + 1;
+        vc.buffer.push_back(flit);
+        self.flits_received += 1;
+        let idx = flit.vc;
+        &mut self.vcs[idx]
+    }
+
+    /// Count of buffered flits across all VCs.
+    pub fn buffered_flits(&self) -> usize {
+        self.vcs.iter().map(|v| v.buffer.len()).sum()
+    }
+
+    /// Count of flits still in flight on the incoming link.
+    pub fn in_flight_flits(&self) -> usize {
+        self.arrivals.len()
+    }
+}
+
+/// Upstream-side state of one downstream VC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OutVcState {
+    /// The downstream VC holds no packet.
+    Idle,
+    /// The downstream VC is allocated to a packet in flight.
+    Active,
+}
+
+/// Output VC state entry: the paper's `out_vc_state` record, extended with
+/// the allocation-eligibility flag driven by the gating policies.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct OutVc {
+    pub state: OutVcState,
+    /// Free downstream buffer slots.
+    pub credits: usize,
+    /// Whether a *new* packet may be allocated to this VC this cycle. The
+    /// gating policies keep this in sync with the downstream power state:
+    /// a gated VC is never allocatable.
+    pub allocatable: bool,
+    /// Earliest cycle at which the downstream buffer's virtual VDD is
+    /// restored after a power-on: the sleep-transistor wake-up penalty.
+    /// VC allocation must wait for it.
+    pub usable_at: u64,
+}
+
+/// The output port of a router (or the injection side of a NIC): output VC
+/// states plus the credit-return queue of the outgoing link.
+#[derive(Debug, Clone)]
+pub(crate) struct OutputUnit {
+    pub vcs: Vec<OutVc>,
+    pub credit_arrivals: VecDeque<(u64, Credit)>,
+    /// VC-allocation arbiter over the requesting input VCs
+    /// (global index `input_port * num_vcs + vc`).
+    pub va_arb: RoundRobinArbiter,
+    /// Output-side switch-allocation arbiter over input ports.
+    pub sa_arb: RoundRobinArbiter,
+    pub connected: bool,
+}
+
+impl OutputUnit {
+    pub fn new(num_vcs: usize, depth: usize, num_inputs: usize, connected: bool) -> Self {
+        OutputUnit {
+            vcs: vec![
+                OutVc {
+                    state: OutVcState::Idle,
+                    credits: depth,
+                    allocatable: true,
+                    usable_at: 0,
+                };
+                num_vcs
+            ],
+            credit_arrivals: VecDeque::new(),
+            va_arb: RoundRobinArbiter::new(num_vcs * num_inputs),
+            sa_arb: RoundRobinArbiter::new(num_inputs),
+            connected,
+        }
+    }
+
+    /// Applies all credits that arrived by `now`.
+    pub fn absorb_credits(&mut self, now: u64, depth: usize) {
+        while let Some(&(when, credit)) = self.credit_arrivals.front() {
+            if when > now {
+                break;
+            }
+            self.credit_arrivals.pop_front();
+            let vc = &mut self.vcs[credit.vc];
+            vc.credits += 1;
+            assert!(
+                vc.credits <= depth,
+                "credit overflow on out VC {} (more credits than buffer slots)",
+                credit.vc
+            );
+            if credit.is_free {
+                assert_eq!(
+                    vc.state,
+                    OutVcState::Active,
+                    "free signal for an already idle out VC"
+                );
+                vc.state = OutVcState::Idle;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::{split_packet, PacketId};
+    use crate::types::NodeId;
+
+    fn flit_of(packet: u64, len: usize, i: usize) -> Flit {
+        split_packet(PacketId(packet), NodeId(0), NodeId(1), len, 0)[i]
+    }
+
+    #[test]
+    fn write_flit_tracks_counts_and_readiness() {
+        let mut unit = InputUnit::new(2, 4, true);
+        let f = flit_of(1, 3, 0);
+        unit.write_flit(f, 10, 4);
+        assert_eq!(unit.flits_received, 1);
+        assert_eq!(unit.vcs[0].buffer.len(), 1);
+        assert_eq!(unit.vcs[0].buffer[0].ready_at, 11);
+        assert_eq!(unit.vcs[0].va_ready_at, 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-gated")]
+    fn write_to_gated_vc_panics() {
+        let mut unit = InputUnit::new(2, 4, true);
+        unit.vcs[0].powered = false;
+        unit.write_flit(flit_of(1, 3, 0), 0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer overflow")]
+    fn overflow_panics() {
+        let mut unit = InputUnit::new(1, 2, true);
+        unit.write_flit(flit_of(1, 5, 0), 0, 2);
+        unit.vcs[0].state = InVcState::Waiting {
+            outport: Direction::East,
+        };
+        unit.write_flit(flit_of(1, 5, 1), 1, 2);
+        unit.write_flit(flit_of(1, 5, 2), 2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "packet mixing")]
+    fn mixing_packets_panics() {
+        let mut unit = InputUnit::new(1, 4, true);
+        unit.write_flit(flit_of(1, 3, 0), 0, 4);
+        unit.vcs[0].state = InVcState::Waiting {
+            outport: Direction::East,
+        };
+        // Body flit of a different packet in the same VC.
+        unit.write_flit(flit_of(2, 3, 1), 1, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-idle VC")]
+    fn second_head_in_occupied_vc_panics() {
+        let mut unit = InputUnit::new(1, 4, true);
+        unit.write_flit(flit_of(1, 3, 0), 0, 4);
+        unit.vcs[0].state = InVcState::Waiting {
+            outport: Direction::East,
+        };
+        unit.write_flit(flit_of(2, 3, 0), 1, 4);
+    }
+
+    #[test]
+    fn unconnected_units_start_gated() {
+        let unit = InputUnit::new(4, 4, false);
+        assert!(unit.vcs.iter().all(|v| !v.powered));
+        let connected = InputUnit::new(4, 4, true);
+        assert!(connected.vcs.iter().all(|v| v.powered));
+    }
+
+    #[test]
+    fn credits_absorb_in_order_and_free() {
+        let mut out = OutputUnit::new(2, 4, 5, true);
+        out.vcs[1].state = OutVcState::Active;
+        out.vcs[1].credits = 2;
+        out.credit_arrivals.push_back((
+            5,
+            Credit {
+                vc: 1,
+                is_free: false,
+            },
+        ));
+        out.credit_arrivals.push_back((
+            6,
+            Credit {
+                vc: 1,
+                is_free: true,
+            },
+        ));
+        out.absorb_credits(5, 4);
+        assert_eq!(out.vcs[1].credits, 3);
+        assert_eq!(out.vcs[1].state, OutVcState::Active);
+        out.absorb_credits(6, 4);
+        assert_eq!(out.vcs[1].credits, 4);
+        assert_eq!(out.vcs[1].state, OutVcState::Idle);
+    }
+
+    #[test]
+    #[should_panic(expected = "credit overflow")]
+    fn credit_overflow_panics() {
+        let mut out = OutputUnit::new(1, 4, 5, true);
+        out.credit_arrivals.push_back((
+            0,
+            Credit {
+                vc: 0,
+                is_free: false,
+            },
+        ));
+        out.absorb_credits(0, 4);
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests of the simulator's building blocks.
+
+use noc_sim::arbiter::RoundRobinArbiter;
+use noc_sim::flit::{split_packet, PacketId};
+use noc_sim::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    /// The arbiter only grants actual requesters and is starvation-free:
+    /// over `n` consecutive rounds with a fixed request set, every
+    /// requester wins at least once.
+    #[test]
+    fn arbiter_is_fair_and_sound(
+        n in 1usize..12,
+        mask in proptest::collection::vec(any::<bool>(), 1..12),
+    ) {
+        let n = n.min(mask.len());
+        let mask = &mask[..n];
+        let mut arb = RoundRobinArbiter::new(n);
+        let requesters: Vec<usize> =
+            (0..n).filter(|&i| mask[i]).collect();
+        let mut wins = vec![0usize; n];
+        for _ in 0..n {
+            if let Some(g) = arb.grant(|i| mask[i]) {
+                prop_assert!(mask[g], "granted a non-requester");
+                wins[g] += 1;
+            } else {
+                prop_assert!(requesters.is_empty());
+            }
+        }
+        for &r in &requesters {
+            prop_assert!(wins[r] >= 1, "requester {r} starved: {wins:?}");
+        }
+    }
+
+    /// Packet splitting: exactly one head, one tail, contiguous sequence
+    /// numbers, and kind flags consistent with position.
+    #[test]
+    fn split_packet_is_well_formed(len in 1usize..40, src in 0usize..16, dst in 0usize..16) {
+        let flits = split_packet(PacketId(1), NodeId(src), NodeId(dst), len, 5);
+        prop_assert_eq!(flits.len(), len);
+        prop_assert_eq!(flits.iter().filter(|f| f.is_head()).count(), 1);
+        prop_assert_eq!(flits.iter().filter(|f| f.is_tail()).count(), 1);
+        prop_assert!(flits[0].is_head());
+        prop_assert!(flits[len - 1].is_tail());
+        for (i, f) in flits.iter().enumerate() {
+            prop_assert_eq!(f.seq as usize, i);
+        }
+    }
+
+    /// Dimension-ordered routing always takes a minimal step: following the
+    /// routed direction reduces the hop distance by exactly one.
+    #[test]
+    fn routing_is_minimal(
+        cols in 1usize..6,
+        rows in 1usize..6,
+        a in 0usize..36,
+        b in 0usize..36,
+        yx in any::<bool>(),
+    ) {
+        let mesh = Mesh2D::new(cols, rows);
+        let (a, b) = (a % mesh.num_nodes(), b % mesh.num_nodes());
+        let (a, b) = (NodeId(a), NodeId(b));
+        let alg = if yx { RoutingAlgorithm::YX } else { RoutingAlgorithm::XY };
+        let mut cur = a;
+        let mut steps = 0usize;
+        while cur != b {
+            let dir = alg.route(&mesh, cur, b);
+            prop_assert_ne!(dir, Direction::Local);
+            let next = mesh.neighbor(cur, dir).expect("stays in mesh");
+            prop_assert_eq!(
+                mesh.hop_distance(next, b) + 1,
+                mesh.hop_distance(cur, b),
+                "non-minimal step"
+            );
+            cur = next;
+            steps += 1;
+            prop_assert!(steps <= cols + rows, "routing loop");
+        }
+        prop_assert_eq!(steps, mesh.hop_distance(a, b));
+    }
+
+    /// Mesh coordinates and neighbour relations are mutually consistent.
+    #[test]
+    fn mesh_neighbors_are_consistent(cols in 1usize..8, rows in 1usize..8) {
+        let mesh = Mesh2D::new(cols, rows);
+        for node in mesh.nodes() {
+            let mut degree = 0;
+            for d in Direction::MESH {
+                if let Some(n) = mesh.neighbor(node, d) {
+                    degree += 1;
+                    prop_assert_eq!(mesh.hop_distance(node, n), 1);
+                    prop_assert_eq!(mesh.neighbor(n, d.opposite()), Some(node));
+                }
+            }
+            let (x, y) = mesh.coords(node);
+            let expect = usize::from(x > 0)
+                + usize::from(x + 1 < cols)
+                + usize::from(y > 0)
+                + usize::from(y + 1 < rows);
+            prop_assert_eq!(degree, expect);
+        }
+    }
+
+    /// The network delivers every packet of a random batch and the latency
+    /// of each hop count is at least the pipeline lower bound.
+    #[test]
+    fn batch_delivery_with_sane_latency(
+        pairs in proptest::collection::vec((0usize..9, 0usize..9), 1..12),
+    ) {
+        let mut net = Network::new(NocConfig {
+            cols: 3,
+            rows: 3,
+            vcs_per_port: 2,
+            ..NocConfig::default()
+        }).unwrap();
+        for &(s, d) in &pairs {
+            net.inject_packet(NodeId(s), NodeId(d));
+        }
+        for _ in 0..4_000 {
+            net.step();
+            if net.is_quiescent() {
+                break;
+            }
+        }
+        prop_assert!(net.is_quiescent());
+        prop_assert_eq!(net.stats().packets_ejected, pairs.len() as u64);
+        // Minimum latency: inject + at least one router traversal + eject.
+        if let Some(avg) = net.stats().avg_latency() {
+            prop_assert!(avg >= 5.0, "implausibly low latency {avg}");
+        }
+    }
+
+    /// Permanently keeping a single designated VC still delivers all
+    /// traffic (the paper's single-flit-per-cycle argument).
+    #[test]
+    fn single_designated_vc_suffices(
+        pairs in proptest::collection::vec((0usize..4, 0usize..4), 1..10),
+        vc in 0usize..2,
+    ) {
+        let mut net = Network::new(NocConfig::paper_synthetic(4, 2)).unwrap();
+        for &(s, d) in &pairs {
+            net.inject_packet(NodeId(s), NodeId(d));
+        }
+        for _ in 0..6_000 {
+            net.begin_cycle();
+            for pid in net.port_ids().to_vec() {
+                net.apply_gate(pid, GateAction::KeepOneIdle { vc });
+            }
+            net.finish_cycle();
+            if net.is_quiescent() {
+                break;
+            }
+        }
+        prop_assert!(net.is_quiescent(), "gated network failed to drain");
+        prop_assert_eq!(net.stats().packets_ejected, pairs.len() as u64);
+    }
+}

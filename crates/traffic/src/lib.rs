@@ -1,0 +1,56 @@
+//! # noc-traffic — traffic generation for the NoC simulator
+//!
+//! Provides the workloads of the DATE 2013 reproduction:
+//!
+//! * [`source`] — the [`TrafficSource`] abstraction: a generator that emits
+//!   [`PacketSpec`]s cycle by cycle, decoupled from the simulator so it can
+//!   be tested, recorded and replayed in isolation,
+//! * [`pattern`] — synthetic destination patterns (uniform random as in the
+//!   paper's Section IV-B, plus the classic transpose / bit-complement /
+//!   tornado / hotspot / neighbour family),
+//! * [`injection`] — injection processes: Bernoulli (the paper's constant
+//!   injection rates) and Markov-modulated on/off bursts,
+//! * [`synthetic`] — per-node synthetic traffic combining a pattern with an
+//!   injection process,
+//! * [`app`] — benchmark-profile application traffic standing in for the
+//!   paper's SPLASH2 and WCET benchmark mixes (see DESIGN.md §4),
+//! * [`trace`] — record/replay of traffic traces in a plain-text format.
+//!
+//! ```
+//! use noc_traffic::prelude::*;
+//! use noc_sim::prelude::*;
+//!
+//! let mesh = Mesh2D::square(4);
+//! let mut src = SyntheticTraffic::uniform(mesh, 0.1, 5, 42);
+//! let mut net = Network::new(NocConfig::paper_synthetic(16, 2))?;
+//! for _ in 0..100 {
+//!     inject_from(&mut src, &mut net);
+//!     net.step();
+//! }
+//! assert!(net.stats().packets_injected > 0);
+//! # Ok::<(), noc_sim::config::InvalidConfigError>(())
+//! ```
+
+pub mod app;
+pub mod injection;
+pub mod pattern;
+pub mod source;
+pub mod synthetic;
+pub mod trace;
+
+pub use app::{AppTraffic, BenchmarkMix, BenchmarkProfile, Locality};
+pub use injection::{BernoulliInjection, InjectionProcess, MarkovOnOffInjection};
+pub use pattern::DestinationPattern;
+pub use source::{inject_from, PacketSpec, TrafficSource};
+pub use synthetic::SyntheticTraffic;
+pub use trace::{Trace, TraceEvent, TraceRecorder, TraceReplay};
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::app::{AppTraffic, BenchmarkMix, BenchmarkProfile, Locality};
+    pub use crate::injection::{BernoulliInjection, InjectionProcess, MarkovOnOffInjection};
+    pub use crate::pattern::DestinationPattern;
+    pub use crate::source::{inject_from, PacketSpec, TrafficSource};
+    pub use crate::synthetic::SyntheticTraffic;
+    pub use crate::trace::{Trace, TraceEvent, TraceRecorder, TraceReplay};
+}

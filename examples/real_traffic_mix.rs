@@ -1,0 +1,60 @@
+//! Real-traffic demo: a random SPLASH2/WCET benchmark mix on a 16-core
+//! mesh (the paper's Table IV protocol, one iteration), comparing the
+//! rr-no-sensor and sensor-wise policies port by port.
+//!
+//! ```sh
+//! cargo run --release --example real_traffic_mix
+//! ```
+
+use nbti_noc::prelude::*;
+
+fn main() {
+    let noc = NocConfig::paper_synthetic(16, 2);
+    let mesh = Mesh2D::new(noc.cols, noc.rows);
+
+    // One random benchmark per core, as the paper picks per iteration.
+    let mix = BenchmarkMix::random(mesh.num_nodes(), 2013);
+    println!("benchmark mix: {}\n", mix.label());
+
+    let mut results = Vec::new();
+    for policy in [PolicyKind::RrNoSensor, PolicyKind::SensorWise] {
+        let mut traffic = AppTraffic::new(mesh, &mix, 99);
+        let cfg = ExperimentConfig::new(noc.clone(), policy)
+            .with_cycles(5_000, 50_000)
+            .with_pv_seed(4242);
+        results.push(run_experiment(&cfg, &mut traffic));
+    }
+    let (rr, sw) = (&results[0], &results[1]);
+
+    println!(
+        "{:<10} {:>4} {:>10} {:>10} {:>8}   (east input of each diagonal router)",
+        "router", "MD", "rr MD", "sw MD", "gap"
+    );
+    for node in mesh.main_diagonal() {
+        // The bottom-right corner has no east neighbour; sample west there.
+        let port = if mesh.neighbor(node, Direction::East).is_some() {
+            PortId::router_input(node, Direction::East)
+        } else {
+            PortId::router_input(node, Direction::West)
+        };
+        let rp = rr.port(port).expect("sampled port exists");
+        let sp = sw.port(port).expect("sampled port exists");
+        println!(
+            "{:<10} {:>4} {:>9.1}% {:>9.1}% {:>7.1}%",
+            port.to_string(),
+            format!("VC{}", rp.md_vc),
+            rp.md_duty(),
+            sp.md_duty(),
+            rp.md_duty() - sp.md_duty()
+        );
+    }
+
+    println!(
+        "\nnetwork health: rr latency {:?} cycles, sensor-wise latency {:?} cycles \
+         ({} / {} packets delivered)",
+        rr.net.avg_latency().map(|l| l.round()),
+        sw.net.avg_latency().map(|l| l.round()),
+        rr.net.packets_ejected,
+        sw.net.packets_ejected
+    );
+}

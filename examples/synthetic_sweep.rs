@@ -1,0 +1,65 @@
+//! Synthetic-pattern sweep: how the sensor-wise gap behaves across traffic
+//! patterns and offered loads — the extension study behind the paper's
+//! observation that the 2-VC gap shrinks once the network congests while
+//! the 4-VC gap keeps growing.
+//!
+//! ```sh
+//! cargo run --release --example synthetic_sweep
+//! ```
+
+use nbti_noc::prelude::*;
+use sensorwise::PortResult;
+
+/// Runs one (pattern, rate) point under a policy and returns the result of
+/// router 0's east input port.
+fn run_point(pattern: DestinationPattern, rate: f64, vcs: usize, policy: PolicyKind) -> PortResult {
+    let noc = NocConfig::paper_synthetic(16, vcs);
+    let mesh = Mesh2D::new(noc.cols, noc.rows);
+    let mut traffic = SyntheticTraffic::new(mesh, pattern, rate, noc.flits_per_packet, 77);
+    let cfg = ExperimentConfig::new(noc, policy)
+        .with_cycles(2_000, 20_000)
+        .with_pv_seed(1234);
+    let result = run_experiment(&cfg, &mut traffic);
+    result.east_input(NodeId(0)).clone()
+}
+
+fn main() {
+    let patterns = [
+        DestinationPattern::UniformRandom,
+        DestinationPattern::Transpose,
+        DestinationPattern::BitComplement,
+        DestinationPattern::Tornado,
+        DestinationPattern::HotSpot {
+            targets: vec![NodeId(0), NodeId(15)],
+            fraction: 0.4,
+        },
+    ];
+    println!("16-core mesh, 2 VCs — rr-no-sensor vs sensor-wise on router 0's east input\n");
+    println!(
+        "{:<16} {:>6} {:>4} {:>10} {:>10} {:>8}",
+        "pattern", "rate", "MD", "rr MD", "sw MD", "gap"
+    );
+    for pattern in &patterns {
+        for rate in [0.2, 0.5] {
+            let rr = run_point(pattern.clone(), rate, 2, PolicyKind::RrNoSensor);
+            let sw = run_point(pattern.clone(), rate, 2, PolicyKind::SensorWise);
+            assert_eq!(rr.md_vc, sw.md_vc, "same PV seed, same MD VC");
+            println!(
+                "{:<16} {:>6.2} {:>4} {:>9.1}% {:>9.1}% {:>7.1}%",
+                pattern.name(),
+                rate,
+                format!("VC{}", rr.md_vc),
+                rr.md_duty(),
+                sw.md_duty(),
+                rr.md_duty() - sw.md_duty()
+            );
+        }
+    }
+    println!(
+        "\nnote: the gap holds across patterns while the network has gating \
+         headroom; once a pattern saturates the sampled port (transpose or \
+         bit-complement at 0.5), every VC is busy, nothing can be gated, \
+         and the gap collapses — the same congestion effect the paper \
+         observes on its 2-VC scenarios."
+    );
+}

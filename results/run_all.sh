@@ -1,0 +1,8 @@
+#!/bin/sh
+set -e
+cd /root/repo
+for bin in table2 table3 table4 area_overhead vth_savings cooperative gap_sweep ablation_sensor ablation_rotation ablation_depth ablation_wakeup ablation_tradeoff power_savings thermal_coupling headline; do
+  echo "=== running $bin ==="
+  ./target/release/$bin > results/$bin.txt 2>results/$bin.log
+done
+echo ALL_DONE

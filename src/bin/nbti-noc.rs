@@ -1,0 +1,264 @@
+//! `nbti-noc` — command-line driver for ad-hoc experiments.
+//!
+//! ```text
+//! nbti-noc run    [--cores N] [--vcs V] [--rate R] [--policy P] [--warmup N] [--measure N] [--csv]
+//! nbti-noc sweep  [--cores N] [--vcs V] [--warmup N] [--measure N]
+//! nbti-noc record --out FILE [--cores N] [--rate R] [--cycles N] [--seed N]
+//! nbti-noc replay --trace FILE [--cores N] [--vcs V] [--policy P]
+//! nbti-noc area
+//! nbti-noc help
+//! ```
+//!
+//! The paper's tables have dedicated regeneration binaries in the
+//! `nbti-noc-bench` crate; this driver is for exploring other points of
+//! the design space.
+
+use nbti_noc::prelude::*;
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+/// Minimal flag parser: `--key value` pairs after the subcommand.
+struct Args {
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut flags = HashMap::new();
+        let mut switches = Vec::new();
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            let Some(key) = a.strip_prefix("--") else {
+                return Err(format!("unexpected argument `{a}`"));
+            };
+            match it.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    flags.insert(key.to_string(), it.next().unwrap().clone());
+                }
+                _ => switches.push(key.to_string()),
+            }
+        }
+        Ok(Args { flags, switches })
+    }
+
+    fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("bad --{key}: {e}")),
+        }
+    }
+
+    fn required(&self, key: &str) -> Result<&str, String> {
+        self.flags
+            .get(key)
+            .map(|s| s.as_str())
+            .ok_or_else(|| format!("missing required --{key}"))
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+}
+
+fn parse_policy(name: &str) -> Result<PolicyKind, String> {
+    match name {
+        "baseline" => Ok(PolicyKind::Baseline),
+        "rr" | "rr-no-sensor" => Ok(PolicyKind::RrNoSensor),
+        "sw-nt" | "sensor-wise-no-traffic" => Ok(PolicyKind::SensorWiseNoTraffic),
+        "sw" | "sensor-wise" => Ok(PolicyKind::SensorWise),
+        other => {
+            if let Some(k) = other.strip_prefix("sw-k") {
+                let k: u8 = k.parse().map_err(|e| format!("bad k in `{other}`: {e}"))?;
+                Ok(PolicyKind::SensorWiseK(k))
+            } else {
+                Err(format!(
+                    "unknown policy `{other}` (try baseline, rr, sw-nt, sw, sw-k2)"
+                ))
+            }
+        }
+    }
+}
+
+fn print_port_table(result: &sensorwise::ExperimentResult, csv: bool) {
+    if csv {
+        let vcs = result.ports[0].duty_percent.len();
+        print!("port,md_vc");
+        for v in 0..vcs {
+            print!(",duty_vc{v}");
+        }
+        println!(",flits");
+        for p in &result.ports {
+            print!("{},{}", p.port, p.md_vc);
+            for d in &p.duty_percent {
+                print!(",{d:.3}");
+            }
+            println!(",{}", p.flits_received);
+        }
+        return;
+    }
+    println!(
+        "{:<12} {:>4} {:>10}  per-VC NBTI-duty-cycle",
+        "port", "MD", "flits"
+    );
+    for p in &result.ports {
+        let duties: Vec<String> = p.duty_percent.iter().map(|d| format!("{d:5.1}%")).collect();
+        println!(
+            "{:<12} {:>4} {:>10}  [{}]",
+            p.port.to_string(),
+            format!("VC{}", p.md_vc),
+            p.flits_received,
+            duties.join(" ")
+        );
+    }
+    println!(
+        "\ndelivered {} packets, avg latency {:.1} cycles",
+        result.net.packets_ejected,
+        result.net.avg_latency().unwrap_or(f64::NAN)
+    );
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let scenario = SyntheticScenario {
+        cores: args.get("cores", 16usize)?,
+        vcs: args.get("vcs", 4usize)?,
+        injection_rate: args.get("rate", 0.2f64)?,
+    };
+    let policy = parse_policy(args.get("policy", "sensor-wise".to_string())?.as_str())?;
+    let warmup = args.get("warmup", 5_000u64)?;
+    let measure = args.get("measure", 50_000u64)?;
+    eprintln!(
+        "running {} under {} ({} + {} cycles)...",
+        scenario.name(),
+        policy,
+        warmup,
+        measure
+    );
+    let result = scenario.run(policy, warmup, measure);
+    print_port_table(&result, args.has("csv"));
+    Ok(())
+}
+
+fn cmd_sweep(args: &Args) -> Result<(), String> {
+    let cores = args.get("cores", 4usize)?;
+    let vcs = args.get("vcs", 2usize)?;
+    let warmup = args.get("warmup", 2_000u64)?;
+    let measure = args.get("measure", 30_000u64)?;
+    println!(
+        "{:>6} {:>10} {:>10} {:>8}   ({}x{} mesh, {} VCs, MD VC of r0 east)",
+        "rate", "rr MD", "sw MD", "gap", cores, cores, vcs
+    );
+    for rate in [0.05, 0.1, 0.15, 0.2, 0.25, 0.3] {
+        let scenario = SyntheticScenario {
+            cores,
+            vcs,
+            injection_rate: rate,
+        };
+        let rr = scenario.run(PolicyKind::RrNoSensor, warmup, measure);
+        let sw = scenario.run(PolicyKind::SensorWise, warmup, measure);
+        let (a, b) = (
+            rr.east_input(NodeId(0)).md_duty(),
+            sw.east_input(NodeId(0)).md_duty(),
+        );
+        println!("{rate:>6.2} {a:>9.1}% {b:>9.1}% {:>7.1}%", a - b);
+    }
+    Ok(())
+}
+
+fn cmd_record(args: &Args) -> Result<(), String> {
+    let out = args.required("out")?.to_string();
+    let cores = args.get("cores", 16usize)?;
+    let rate = args.get("rate", 0.2f64)?;
+    let cycles = args.get("cycles", 50_000u64)?;
+    let seed = args.get("seed", 1u64)?;
+    let k = (cores as f64).sqrt().round() as usize;
+    let mesh = Mesh2D::new(k, k);
+    let mut rec = TraceRecorder::new(SyntheticTraffic::uniform(mesh, rate, 5, seed));
+    let mut sink = Vec::new();
+    for c in 0..cycles {
+        rec.emit(c, &mut sink);
+    }
+    let trace = rec.into_trace();
+    let file = File::create(&out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    trace
+        .to_writer(BufWriter::new(file))
+        .map_err(|e| format!("write failed: {e}"))?;
+    println!(
+        "recorded {} packets over {cycles} cycles to {out}",
+        trace.len()
+    );
+    Ok(())
+}
+
+fn cmd_replay(args: &Args) -> Result<(), String> {
+    let path = args.required("trace")?.to_string();
+    let cores = args.get("cores", 16usize)?;
+    let vcs = args.get("vcs", 4usize)?;
+    let policy = parse_policy(args.get("policy", "sensor-wise".to_string())?.as_str())?;
+    let file = File::open(&path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let trace = Trace::from_reader(BufReader::new(file)).map_err(|e| format!("bad trace: {e}"))?;
+    let horizon = trace.events().last().map(|e| e.cycle + 1).unwrap_or(0);
+    eprintln!(
+        "replaying {} packets ({horizon} cycles) under {policy}...",
+        trace.len()
+    );
+    let mut replay = TraceReplay::new(trace);
+    let cfg = ExperimentConfig::new(NocConfig::paper_synthetic(cores, vcs), policy)
+        .with_cycles(0, horizon + 2_000);
+    let result = run_experiment(&cfg, &mut replay);
+    print_port_table(&result, args.has("csv"));
+    Ok(())
+}
+
+fn cmd_area() -> Result<(), String> {
+    println!("{}", analyze_area(&AreaParams::paper_45nm()));
+    Ok(())
+}
+
+const HELP: &str = "nbti-noc — sensor-wise NBTI mitigation for NoC buffers (DATE 2013 reproduction)
+
+subcommands:
+  run     one scenario under one policy    [--cores --vcs --rate --policy --warmup --measure --csv]
+  sweep   gap vs injection rate            [--cores --vcs --warmup --measure]
+  record  record a synthetic trace         --out FILE [--cores --rate --cycles --seed]
+  replay  replay a trace under a policy    --trace FILE [--cores --vcs --policy --csv]
+  area    print the §III-D area overhead report
+  help    this text
+
+policies: baseline | rr | sw-nt | sw | sw-kN (e.g. sw-k2)
+paper tables: see `cargo run -p nbti-noc-bench --bin table2|table3|table4|...`";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        println!("{HELP}");
+        return ExitCode::SUCCESS;
+    };
+    let run = || -> Result<(), String> {
+        let args = Args::parse(rest)?;
+        match cmd.as_str() {
+            "run" => cmd_run(&args),
+            "sweep" => cmd_sweep(&args),
+            "record" => cmd_record(&args),
+            "replay" => cmd_replay(&args),
+            "area" => cmd_area(),
+            "help" | "--help" | "-h" => {
+                println!("{HELP}");
+                Ok(())
+            }
+            other => Err(format!("unknown subcommand `{other}` (try help)")),
+        }
+    };
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # nbti-noc — sensor-wise NBTI mitigation for NoC virtual-channel buffers
+//!
+//! A from-scratch reproduction of D. Zoni and W. Fornaciari, *"Sensor-wise
+//! methodology to face NBTI stress of NoC buffers"*, DATE 2013.
+//!
+//! This facade crate re-exports the workspace members so that applications
+//! and examples can depend on a single crate:
+//!
+//! * [`sim`] ([`noc_sim`]) — cycle-accurate 2D-mesh NoC simulator with
+//!   3-stage virtual-channel routers and per-VC power gating,
+//! * [`nbti`] ([`nbti_model`]) — NBTI physics: duty cycles, the long-term
+//!   reaction–diffusion ΔVth model, process variation and sensor models,
+//! * [`traffic`] ([`noc_traffic`]) — synthetic patterns and benchmark-profile
+//!   application traffic,
+//! * [`policy`] ([`sensorwise`]) — the paper's mitigation policies
+//!   (`baseline`, `rr-no-sensor`, `sensor-wise-no-traffic`, `sensor-wise`),
+//!   the cooperative control links, and the experiment runner,
+//! * [`area`] ([`noc_area`]) — ORION-style router area model and the
+//!   sensor/link overhead analysis.
+//!
+//! See the `examples/` directory for runnable entry points, starting with
+//! `quickstart.rs`.
+
+pub use nbti_model as nbti;
+pub use noc_area as area;
+pub use noc_sim as sim;
+pub use noc_traffic as traffic;
+pub use sensorwise as policy;
+
+/// One-stop imports for applications and examples.
+pub mod prelude {
+    pub use nbti_model::{
+        vth_saving_percent, DutyCycleCounter, LongTermModel, NbtiParams, ProcessVariation, Volt,
+    };
+    pub use noc_area::{analyze as analyze_area, AreaParams};
+    pub use noc_sim::prelude::*;
+    pub use noc_traffic::prelude::*;
+    pub use sensorwise::{
+        run_experiment, ExperimentConfig, ExperimentResult, NbtiMonitor, PolicyKind,
+        SyntheticScenario,
+    };
+}

@@ -1,0 +1,121 @@
+//! Integration tests for the `nbti-noc` command-line driver.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_nbti-noc"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn help_lists_subcommands() {
+    let (stdout, _, ok) = run(&["help"]);
+    assert!(ok);
+    for cmd in ["run", "sweep", "record", "replay", "area"] {
+        assert!(stdout.contains(cmd), "help missing `{cmd}`:\n{stdout}");
+    }
+}
+
+#[test]
+fn no_arguments_prints_help() {
+    let (stdout, _, ok) = run(&[]);
+    assert!(ok);
+    assert!(stdout.contains("subcommands"));
+}
+
+#[test]
+fn unknown_subcommand_fails_with_message() {
+    let (_, stderr, ok) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown subcommand"), "{stderr}");
+}
+
+#[test]
+fn unknown_policy_fails_with_message() {
+    let (_, stderr, ok) = run(&["run", "--policy", "magic"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown policy"), "{stderr}");
+}
+
+#[test]
+fn run_csv_emits_one_row_per_port() {
+    let (stdout, _, ok) = run(&[
+        "run",
+        "--cores",
+        "4",
+        "--vcs",
+        "2",
+        "--rate",
+        "0.1",
+        "--policy",
+        "sw",
+        "--warmup",
+        "200",
+        "--measure",
+        "2000",
+        "--csv",
+    ]);
+    assert!(ok, "{stdout}");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines[0], "port,md_vc,duty_vc0,duty_vc1,flits");
+    // 2x2 mesh: 16 gateable ports.
+    assert_eq!(lines.len(), 1 + 16, "{stdout}");
+    for row in &lines[1..] {
+        assert_eq!(row.split(',').count(), 5, "bad row `{row}`");
+    }
+}
+
+#[test]
+fn record_then_replay_round_trips() {
+    let dir = std::env::temp_dir().join("nbti-noc-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("t.trace");
+    let trace_str = trace.to_str().unwrap();
+    let (stdout, _, ok) = run(&[
+        "record", "--out", trace_str, "--cores", "4", "--rate", "0.2", "--cycles", "3000",
+        "--seed", "5",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("recorded"));
+    let (stdout, _, ok) = run(&[
+        "replay", "--trace", trace_str, "--cores", "4", "--vcs", "2", "--policy", "rr",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("delivered"), "{stdout}");
+    std::fs::remove_file(trace).ok();
+}
+
+#[test]
+fn area_prints_paper_anchors() {
+    let (stdout, _, ok) = run(&["area"]);
+    assert!(ok);
+    assert!(stdout.contains("3.25%"), "{stdout}");
+}
+
+#[test]
+fn sensor_wise_k_policy_is_accepted() {
+    let (stdout, _, ok) = run(&[
+        "run",
+        "--cores",
+        "4",
+        "--vcs",
+        "2",
+        "--rate",
+        "0.1",
+        "--policy",
+        "sw-k2",
+        "--warmup",
+        "100",
+        "--measure",
+        "1000",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("delivered"));
+}

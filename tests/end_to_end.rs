@@ -1,0 +1,152 @@
+//! End-to-end integration tests across all crates: traffic generation →
+//! simulation → gating policies → NBTI accounting.
+
+use nbti_noc::prelude::*;
+use sensorwise::ExperimentResult;
+
+fn run_scenario(cores: usize, vcs: usize, rate: f64, policy: PolicyKind) -> ExperimentResult {
+    SyntheticScenario {
+        cores,
+        vcs,
+        injection_rate: rate,
+    }
+    .run(policy, 1_000, 12_000)
+}
+
+#[test]
+fn every_policy_keeps_the_network_functional() {
+    for policy in PolicyKind::ALL {
+        let r = run_scenario(4, 2, 0.1, policy);
+        assert!(
+            r.net.packets_ejected > 100,
+            "{policy}: only {} packets delivered",
+            r.net.packets_ejected
+        );
+        // Gating must not lose flits: the measured window ejects at least
+        // the flits of the packets it completed (packets straddling the
+        // warm-up reset can add or remove a partial packet's worth).
+        assert!(
+            (r.net.flits_ejected as i64 - (r.net.packets_ejected * 5) as i64).abs() < 10,
+            "{policy}: {} flits for {} packets",
+            r.net.flits_ejected,
+            r.net.packets_ejected
+        );
+    }
+}
+
+#[test]
+fn policies_have_comparable_latency() {
+    // Power gating trades at most a little latency; it must not wreck the
+    // network. Compare baseline and sensor-wise average latencies.
+    let base = run_scenario(4, 2, 0.1, PolicyKind::Baseline);
+    let sw = run_scenario(4, 2, 0.1, PolicyKind::SensorWise);
+    let lb = base.net.avg_latency().expect("baseline delivered");
+    let ls = sw.net.avg_latency().expect("sensor-wise delivered");
+    assert!(
+        ls < lb * 1.5 + 5.0,
+        "sensor-wise latency {ls:.1} too far above baseline {lb:.1}"
+    );
+}
+
+#[test]
+fn duty_cycles_are_valid_percentages_on_every_port() {
+    for policy in PolicyKind::ALL {
+        let r = run_scenario(16, 4, 0.1, policy);
+        assert_eq!(r.ports.len(), 4 * 4 * 2 + 2 * (2 * 16 - 4 - 4));
+        for port in &r.ports {
+            assert_eq!(port.duty_percent.len(), 4);
+            for &d in &port.duty_percent {
+                assert!((0.0..=100.0).contains(&d), "{policy}: duty {d}");
+            }
+            assert!(port.md_vc < 4);
+            assert_eq!(port.initial_vths.len(), 4);
+        }
+    }
+}
+
+#[test]
+fn baseline_never_gates_anything() {
+    let r = run_scenario(4, 4, 0.2, PolicyKind::Baseline);
+    for port in &r.ports {
+        for &d in &port.duty_percent {
+            assert_eq!(d, 100.0, "baseline must stress every buffer");
+        }
+    }
+}
+
+#[test]
+fn gating_policies_do_recover_buffers() {
+    for policy in [
+        PolicyKind::RrNoSensor,
+        PolicyKind::SensorWiseNoTraffic,
+        PolicyKind::SensorWise,
+    ] {
+        let r = run_scenario(4, 2, 0.1, policy);
+        let any_recovery = r
+            .ports
+            .iter()
+            .flat_map(|p| &p.duty_percent)
+            .any(|&d| d < 95.0);
+        assert!(any_recovery, "{policy} recovered nothing");
+    }
+}
+
+#[test]
+fn sensor_wise_beats_rr_on_the_md_vc_of_the_sampled_port() {
+    for (cores, vcs) in [(4, 2), (16, 2), (4, 4)] {
+        let rr = run_scenario(cores, vcs, 0.2, PolicyKind::RrNoSensor);
+        let sw = run_scenario(cores, vcs, 0.2, PolicyKind::SensorWise);
+        let (pr, ps) = (rr.east_input(NodeId(0)), sw.east_input(NodeId(0)));
+        assert_eq!(pr.md_vc, ps.md_vc);
+        assert!(
+            ps.md_duty() < pr.md_duty(),
+            "{cores}c/{vcs}vc: sw {} !< rr {}",
+            ps.md_duty(),
+            pr.md_duty()
+        );
+    }
+}
+
+#[test]
+fn experiment_runs_are_deterministic() {
+    let a = run_scenario(4, 2, 0.2, PolicyKind::SensorWise);
+    let b = run_scenario(4, 2, 0.2, PolicyKind::SensorWise);
+    assert_eq!(a.net, b.net);
+    for (pa, pb) in a.ports.iter().zip(&b.ports) {
+        assert_eq!(pa.duty_percent, pb.duty_percent);
+        assert_eq!(pa.flits_received, pb.flits_received);
+    }
+}
+
+#[test]
+fn app_traffic_runs_through_the_full_stack() {
+    let noc = NocConfig::paper_synthetic(4, 2);
+    let mesh = Mesh2D::new(2, 2);
+    let mix = BenchmarkMix::random(4, 11);
+    let mut traffic = AppTraffic::new(mesh, &mix, 3);
+    let cfg = ExperimentConfig::new(noc, PolicyKind::SensorWise).with_cycles(500, 8_000);
+    let r = run_experiment(&cfg, &mut traffic);
+    assert!(
+        r.net.packets_ejected > 0,
+        "mix {} delivered nothing",
+        mix.label()
+    );
+    // In-flight accounting saturates rather than underflowing.
+    let _ = r.net.packets_in_flight();
+}
+
+#[test]
+fn facade_reexports_are_usable_together() {
+    // Compile-time integration of the facade crate's prelude: build every
+    // major object through `nbti_noc::prelude`.
+    let model = LongTermModel::calibrated_45nm();
+    let mut pv = ProcessVariation::paper_45nm(1);
+    let vth = pv.sample();
+    assert!(vth.as_volts() > 0.0);
+    let area = analyze_area(&AreaParams::paper_45nm());
+    assert!(area.total_overhead_percent > 0.0);
+    assert!(vth_saving_percent(&model, 0.2) > 0.0);
+    let mut duty = DutyCycleCounter::new();
+    duty.record_stress();
+    assert_eq!(duty.duty_cycle_percent(), 100.0);
+}

@@ -1,0 +1,149 @@
+//! Integration tests pinning the *qualitative shapes* of the paper's
+//! results — the properties that must survive any reimplementation:
+//!
+//! * rr-no-sensor equalizes duty cycles across VCs,
+//! * sensor-wise-no-traffic pins one idle VC near 100 % and shields the
+//!   most degraded VC,
+//! * sensor-wise shields the MD VC *and* has no pinned VC,
+//! * the rr − sensor-wise gap on the MD VC is positive,
+//! * traffic information (cooperation) strictly helps,
+//! * lower duty cycles translate into larger ten-year Vth savings.
+
+use nbti_noc::prelude::*;
+use sensorwise::{ExperimentResult, PortResult};
+
+fn run(vcs: usize, rate: f64, policy: PolicyKind) -> ExperimentResult {
+    SyntheticScenario {
+        cores: 4,
+        vcs,
+        injection_rate: rate,
+    }
+    .run(policy, 1_500, 15_000)
+}
+
+fn east0(r: &ExperimentResult) -> &PortResult {
+    r.east_input(NodeId(0))
+}
+
+#[test]
+fn rr_equalizes_vcs() {
+    for vcs in [2usize, 4] {
+        let r = run(vcs, 0.2, PolicyKind::RrNoSensor);
+        let d = &east0(&r).duty_percent;
+        let min = d.iter().cloned().fold(f64::MAX, f64::min);
+        let max = d.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(
+            max - min < 8.0,
+            "rr must be flat across VCs, got {d:?} ({vcs} VCs)"
+        );
+    }
+}
+
+#[test]
+fn no_traffic_variant_pins_exactly_one_vc() {
+    let r = run(4, 0.1, PolicyKind::SensorWiseNoTraffic);
+    let port = east0(&r);
+    let pinned = port.duty_percent.iter().filter(|&&d| d > 95.0).count();
+    assert_eq!(
+        pinned, 1,
+        "exactly one idle VC stays powered with no traffic: {:?}",
+        port.duty_percent
+    );
+    // And the most degraded VC is not the pinned one.
+    assert!(
+        port.md_duty() < 95.0,
+        "MD VC must be recovered, not pinned: {:?} md={}",
+        port.duty_percent,
+        port.md_vc
+    );
+}
+
+#[test]
+fn sensor_wise_has_no_pinned_vc_and_shields_md() {
+    let r = run(4, 0.1, PolicyKind::SensorWise);
+    let port = east0(&r);
+    for &d in &port.duty_percent {
+        assert!(
+            d < 95.0,
+            "sensor-wise must not pin a VC: {:?}",
+            port.duty_percent
+        );
+    }
+    let min = port.duty_percent.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(
+        (port.md_duty() - min).abs() < 1e-9,
+        "the MD VC must have the lowest duty: {:?} md={}",
+        port.duty_percent,
+        port.md_vc
+    );
+}
+
+#[test]
+fn gap_is_positive_at_every_rate() {
+    for vcs in [2usize, 4] {
+        for rate in [0.1, 0.2] {
+            let rr = run(vcs, rate, PolicyKind::RrNoSensor);
+            let sw = run(vcs, rate, PolicyKind::SensorWise);
+            let gap = east0(&rr).md_duty() - east0(&sw).md_duty();
+            assert!(
+                gap > 0.0,
+                "gap must be positive ({vcs} VCs, rate {rate}): {gap}"
+            );
+        }
+    }
+}
+
+#[test]
+fn cooperation_strictly_helps_the_md_vc() {
+    let without = run(4, 0.1, PolicyKind::SensorWiseNoTraffic);
+    let with = run(4, 0.1, PolicyKind::SensorWise);
+    // The no-traffic variant keeps an idle VC awake at all times, which
+    // costs stress on every VC that takes the designated role.
+    let sum_without: f64 = east0(&without).duty_percent.iter().sum();
+    let sum_with: f64 = east0(&with).duty_percent.iter().sum();
+    assert!(
+        sum_with < sum_without,
+        "cooperation must reduce total stress: {sum_with} vs {sum_without}"
+    );
+}
+
+#[test]
+fn four_vcs_give_sensor_wise_more_headroom_than_two() {
+    // The paper's Table II vs Table III observation: more VCs, more
+    // steering freedom, lower MD duty under sensor-wise.
+    let two = run(2, 0.2, PolicyKind::SensorWise);
+    let four = run(4, 0.2, PolicyKind::SensorWise);
+    assert!(
+        east0(&four).md_duty() <= east0(&two).md_duty() + 1e-9,
+        "4 VCs should shield the MD VC at least as well: {} vs {}",
+        east0(&four).md_duty(),
+        east0(&two).md_duty()
+    );
+}
+
+#[test]
+fn savings_track_duty_cycles() {
+    let model = LongTermModel::calibrated_45nm();
+    let rr = run(2, 0.2, PolicyKind::RrNoSensor);
+    let sw = run(2, 0.2, PolicyKind::SensorWise);
+    let s_rr = vth_saving_percent(&model, east0(&rr).md_duty() / 100.0);
+    let s_sw = vth_saving_percent(&model, east0(&sw).md_duty() / 100.0);
+    assert!(
+        s_sw > s_rr,
+        "lower duty must mean larger saving: {s_sw} vs {s_rr}"
+    );
+    assert!(s_sw > 0.0 && s_sw < 100.0);
+}
+
+#[test]
+fn md_vc_is_decided_by_process_variation_not_policy() {
+    let mut mds = Vec::new();
+    for policy in PolicyKind::ALL {
+        let r = run(2, 0.1, policy);
+        mds.push(east0(&r).md_vc);
+    }
+    assert!(
+        mds.windows(2).all(|w| w[0] == w[1]),
+        "MD VC must be identical across policies: {mds:?}"
+    );
+}
