@@ -1,0 +1,289 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container cannot reach a crates.io registry, so this crate
+//! vendors the API subset the workspace's benches use: [`Criterion`],
+//! benchmark groups with [`Throughput`] annotations, [`BenchmarkId`],
+//! `iter` / `iter_batched` benchers and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Statistics are intentionally simple: each benchmark is warmed up, then
+//! timed over a fixed wall-clock budget, and the per-iteration mean and
+//! min are printed. No HTML reports, no regression analysis — enough to
+//! compare hot paths before and after a change.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can `use criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Wall-clock budget spent measuring each benchmark after warm-up.
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+/// Wall-clock budget spent warming each benchmark.
+const WARMUP_BUDGET: Duration = Duration::from_millis(50);
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Ignored tuning knob, kept for API compatibility.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        println!("group {}", name.into());
+        BenchmarkGroup {
+            _parent: self,
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, None, &mut f);
+        self
+    }
+}
+
+/// Units-of-work annotation for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A titled collection of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used for derived rates.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("  {id}"), self.throughput, &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("  {id}"), self.throughput, &mut |b: &mut Bencher| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (a no-op here, kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A `function/parameter` benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A label with both a function name and a parameter.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// A label with only a parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// How much setup output to batch per timing draw (ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// The timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    /// (iterations, total busy time) accumulated by the harness.
+    samples: Vec<(u64, Duration)>,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly until the measurement budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.budget {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push((1, t0.elapsed()));
+            iters += 1;
+            if iters >= 1_000_000 {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.budget {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push((1, t0.elapsed()));
+            iters += 1;
+            if iters >= 1_000_000 {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, f: &mut F) {
+    // Warm-up pass: discarded measurements.
+    let mut warm = Bencher {
+        samples: Vec::new(),
+        budget: WARMUP_BUDGET,
+    };
+    f(&mut warm);
+    let mut b = Bencher {
+        samples: Vec::new(),
+        budget: MEASURE_BUDGET,
+    };
+    f(&mut b);
+    let iters: u64 = b.samples.iter().map(|(n, _)| n).sum();
+    if iters == 0 {
+        println!("{label:<48} (no samples)");
+        return;
+    }
+    let total: Duration = b.samples.iter().map(|(_, d)| *d).sum();
+    let mean = total / iters as u32;
+    let min = b
+        .samples
+        .iter()
+        .map(|(_, d)| *d)
+        .min()
+        .unwrap_or_default();
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            let per_sec = n as f64 * iters as f64 / total.as_secs_f64();
+            format!("  {per_sec:>12.0} elem/s")
+        }
+        Some(Throughput::Bytes(n)) => {
+            let per_sec = n as f64 * iters as f64 / total.as_secs_f64();
+            format!("  {per_sec:>12.0} B/s")
+        }
+        None => String::new(),
+    };
+    println!("{label:<48} mean {mean:>10.3?}  min {min:>10.3?}  ({iters} iters){rate}");
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(10));
+        group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, quick_bench);
+
+    #[test]
+    fn harness_runs_and_collects_samples() {
+        benches();
+    }
+
+    #[test]
+    fn bencher_iter_batched_separates_setup() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            budget: Duration::from_millis(5),
+        };
+        b.iter_batched(|| vec![1u64; 16], |v| v.iter().sum::<u64>(), BatchSize::SmallInput);
+        assert!(!b.samples.is_empty());
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("f", 4).to_string(), "f/4");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -8,12 +8,12 @@
 
 use nbti_noc_bench::RunOptions;
 use noc_sim::config::NocConfig;
-use noc_sim::topology::Mesh2D;
 use noc_sim::types::NodeId;
-use noc_traffic::synthetic::SyntheticTraffic;
-use sensorwise::{run_experiment, ExperimentConfig, PolicyKind, SyntheticScenario};
+use sensorwise::{
+    run_batch, ExperimentConfig, ExperimentJob, PolicyKind, SyntheticScenario, TrafficSpec,
+};
 
-fn run(depth: usize, policy: PolicyKind, opts: &RunOptions) -> f64 {
+fn job(depth: usize, policy: PolicyKind, opts: &RunOptions) -> ExperimentJob {
     let scenario = SyntheticScenario {
         cores: 4,
         vcs: 2,
@@ -21,18 +21,15 @@ fn run(depth: usize, policy: PolicyKind, opts: &RunOptions) -> f64 {
     };
     let mut noc = NocConfig::paper_synthetic(scenario.cores, scenario.vcs);
     noc.buffer_depth = depth;
-    let mesh = Mesh2D::new(noc.cols, noc.rows);
-    let mut traffic = SyntheticTraffic::uniform(
-        mesh,
-        scenario.effective_rate(),
-        noc.flits_per_packet,
-        scenario.seed() ^ 0x7261_6666,
-    );
-    let cfg = ExperimentConfig::new(noc, policy)
-        .with_cycles(opts.warmup, opts.measure)
-        .with_pv_seed(scenario.seed());
-    let r = run_experiment(&cfg, &mut traffic);
-    r.east_input(NodeId(0)).md_duty()
+    ExperimentJob {
+        cfg: ExperimentConfig::new(noc, policy)
+            .with_cycles(opts.warmup, opts.measure)
+            .with_pv_seed(scenario.seed()),
+        traffic: TrafficSpec::Uniform {
+            rate: scenario.effective_rate(),
+            seed: scenario.seed() ^ 0x7261_6666,
+        },
+    }
 }
 
 fn main() {
@@ -47,9 +44,20 @@ fn main() {
         "{:>6} {:>10} {:>10} {:>8}",
         "depth", "rr MD", "sw MD", "gap"
     );
-    for depth in [1usize, 2, 4, 8, 16] {
-        let rr = run(depth, PolicyKind::RrNoSensor, &scaled);
-        let sw = run(depth, PolicyKind::SensorWise, &scaled);
+    let depths = [1usize, 2, 4, 8, 16];
+    let batch: Vec<ExperimentJob> = depths
+        .iter()
+        .flat_map(|&depth| {
+            [PolicyKind::RrNoSensor, PolicyKind::SensorWise]
+                .into_iter()
+                .map(move |policy| (depth, policy))
+        })
+        .map(|(depth, policy)| job(depth, policy, &scaled))
+        .collect();
+    let results = run_batch(&batch, scaled.jobs);
+    for (depth, pair) in depths.iter().zip(results.chunks_exact(2)) {
+        let rr = pair[0].east_input(NodeId(0)).md_duty();
+        let sw = pair[1].east_input(NodeId(0)).md_duty();
         println!("{depth:>6} {rr:>9.1}% {sw:>9.1}% {:>7.1}%", rr - sw);
     }
     println!("\nreading: the paper's 4-flit buffers sit where the gap is already healthy;\nvery shallow buffers throttle the network and erase the headroom.");

@@ -8,10 +8,10 @@
 
 use nbti_noc_bench::RunOptions;
 use noc_sim::config::NocConfig;
-use noc_sim::topology::Mesh2D;
 use noc_sim::types::NodeId;
-use noc_traffic::synthetic::SyntheticTraffic;
-use sensorwise::{run_experiment, ExperimentConfig, PolicyKind, SyntheticScenario};
+use sensorwise::{
+    run_batch, ExperimentConfig, ExperimentJob, PolicyKind, SyntheticScenario, TrafficSpec,
+};
 
 fn main() {
     let opts = RunOptions::parse(std::env::args().skip(1));
@@ -33,20 +33,26 @@ fn main() {
         "{:>8} {:>8} {:>8} {:>8} {:>8} {:>10}",
         "period", "VC0", "VC1", "VC2", "VC3", "spread"
     );
-    for period in [1u64, 8, 64, 512, 4096, 32_768] {
-        let noc = NocConfig::paper_synthetic(scenario.cores, scenario.vcs);
-        let mesh = Mesh2D::new(noc.cols, noc.rows);
-        let mut traffic = SyntheticTraffic::uniform(
-            mesh,
-            scenario.effective_rate(),
-            noc.flits_per_packet,
-            scenario.seed() ^ 0x7261_6666,
-        );
-        let mut cfg = ExperimentConfig::new(noc, PolicyKind::RrNoSensor)
-            .with_cycles(scaled.warmup, scaled.measure)
-            .with_pv_seed(scenario.seed());
-        cfg.rr_rotation_period = period;
-        let r = run_experiment(&cfg, &mut traffic);
+    let periods = [1u64, 8, 64, 512, 4096, 32_768];
+    let batch: Vec<ExperimentJob> = periods
+        .iter()
+        .map(|&period| {
+            let noc = NocConfig::paper_synthetic(scenario.cores, scenario.vcs);
+            let mut cfg = ExperimentConfig::new(noc, PolicyKind::RrNoSensor)
+                .with_cycles(scaled.warmup, scaled.measure)
+                .with_pv_seed(scenario.seed());
+            cfg.rr_rotation_period = period;
+            ExperimentJob {
+                cfg,
+                traffic: TrafficSpec::Uniform {
+                    rate: scenario.effective_rate(),
+                    seed: scenario.seed() ^ 0x7261_6666,
+                },
+            }
+        })
+        .collect();
+    let results = run_batch(&batch, scaled.jobs);
+    for (&period, r) in periods.iter().zip(&results) {
         let d = &r.east_input(NodeId(0)).duty_percent;
         let min = d.iter().cloned().fold(f64::MAX, f64::min);
         let max = d.iter().cloned().fold(f64::MIN, f64::max);

@@ -9,12 +9,12 @@
 use nbti_noc_bench::RunOptions;
 use noc_sim::config::NocConfig;
 use noc_sim::routing::RoutingAlgorithm;
-use noc_sim::topology::Mesh2D;
 use noc_sim::types::NodeId;
-use noc_traffic::synthetic::SyntheticTraffic;
-use sensorwise::{run_experiment, ExperimentConfig, PolicyKind, SyntheticScenario};
+use sensorwise::{
+    run_batch, ExperimentConfig, ExperimentJob, PolicyKind, SyntheticScenario, TrafficSpec,
+};
 
-fn run(routing: RoutingAlgorithm, policy: PolicyKind, opts: &RunOptions) -> (f64, f64) {
+fn job(routing: RoutingAlgorithm, policy: PolicyKind, opts: &RunOptions) -> ExperimentJob {
     let scenario = SyntheticScenario {
         cores: 16,
         vcs: 2,
@@ -22,21 +22,15 @@ fn run(routing: RoutingAlgorithm, policy: PolicyKind, opts: &RunOptions) -> (f64
     };
     let mut noc = NocConfig::paper_synthetic(scenario.cores, scenario.vcs);
     noc.routing = routing;
-    let mesh = Mesh2D::new(noc.cols, noc.rows);
-    let mut traffic = SyntheticTraffic::uniform(
-        mesh,
-        scenario.effective_rate(),
-        noc.flits_per_packet,
-        scenario.seed() ^ 0x7261_6666,
-    );
-    let cfg = ExperimentConfig::new(noc, policy)
-        .with_cycles(opts.warmup, opts.measure)
-        .with_pv_seed(scenario.seed());
-    let r = run_experiment(&cfg, &mut traffic);
-    (
-        r.east_input(NodeId(0)).md_duty(),
-        r.net.avg_latency().unwrap_or(f64::NAN),
-    )
+    ExperimentJob {
+        cfg: ExperimentConfig::new(noc, policy)
+            .with_cycles(opts.warmup, opts.measure)
+            .with_pv_seed(scenario.seed()),
+        traffic: TrafficSpec::Uniform {
+            rate: scenario.effective_rate(),
+            seed: scenario.seed() ^ 0x7261_6666,
+        },
+    }
 }
 
 fn main() {
@@ -51,13 +45,26 @@ fn main() {
         "{:<12} | {:>9} {:>9} {:>8} | {:>10} {:>10}",
         "routing", "rr MD", "sw MD", "gap", "rr lat", "sw lat"
     );
-    for (name, routing) in [
+    let routings = [
         ("XY", RoutingAlgorithm::XY),
         ("YX", RoutingAlgorithm::YX),
         ("west-first", RoutingAlgorithm::WestFirst),
-    ] {
-        let (rr_md, rr_lat) = run(routing, PolicyKind::RrNoSensor, &scaled);
-        let (sw_md, sw_lat) = run(routing, PolicyKind::SensorWise, &scaled);
+    ];
+    let batch: Vec<ExperimentJob> = routings
+        .iter()
+        .flat_map(|&(_, routing)| {
+            [PolicyKind::RrNoSensor, PolicyKind::SensorWise]
+                .into_iter()
+                .map(move |policy| job(routing, policy, &scaled))
+        })
+        .collect();
+    let results = run_batch(&batch, scaled.jobs);
+    for ((name, _), pair) in routings.iter().zip(results.chunks_exact(2)) {
+        let (rr, sw) = (&pair[0], &pair[1]);
+        let rr_md = rr.east_input(NodeId(0)).md_duty();
+        let sw_md = sw.east_input(NodeId(0)).md_duty();
+        let rr_lat = rr.net.avg_latency().unwrap_or(f64::NAN);
+        let sw_lat = sw.net.avg_latency().unwrap_or(f64::NAN);
         println!(
             "{name:<12} | {rr_md:>8.1}% {sw_md:>8.1}% {:>7.1}% | {rr_lat:>10.1} {sw_lat:>10.1}",
             rr_md - sw_md

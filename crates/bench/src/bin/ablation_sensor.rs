@@ -11,33 +11,31 @@
 
 use nbti_model::Volt;
 use nbti_noc_bench::RunOptions;
-use noc_sim::topology::Mesh2D;
 use noc_sim::types::NodeId;
-use noc_traffic::synthetic::SyntheticTraffic;
-use sensorwise::{ExperimentConfig, PolicyKind, SensorModel, SyntheticScenario};
+use sensorwise::{
+    run_batch, ExperimentConfig, ExperimentJob, PolicyKind, SensorModel, SyntheticScenario,
+    TrafficSpec,
+};
 
-fn run(sensor: SensorModel, opts: &RunOptions) -> f64 {
+fn job(sensor: SensorModel, opts: &RunOptions) -> ExperimentJob {
     let scenario = SyntheticScenario {
         cores: 4,
         vcs: 4,
         injection_rate: 0.2,
     };
     let noc = noc_sim::config::NocConfig::paper_synthetic(scenario.cores, scenario.vcs);
-    let mesh = Mesh2D::new(noc.cols, noc.rows);
-    let mut traffic = SyntheticTraffic::uniform(
-        mesh,
-        scenario.effective_rate(),
-        noc.flits_per_packet,
-        scenario.seed() ^ 0x7261_6666,
-    );
-    let cfg = ExperimentConfig {
-        sensor,
-        ..ExperimentConfig::new(noc, PolicyKind::SensorWise)
-            .with_cycles(opts.warmup, opts.measure)
-            .with_pv_seed(scenario.seed())
-    };
-    let r = sensorwise::run_experiment(&cfg, &mut traffic);
-    r.east_input(NodeId(0)).md_duty()
+    ExperimentJob {
+        cfg: ExperimentConfig {
+            sensor,
+            ..ExperimentConfig::new(noc, PolicyKind::SensorWise)
+                .with_cycles(opts.warmup, opts.measure)
+                .with_pv_seed(scenario.seed())
+        },
+        traffic: TrafficSpec::Uniform {
+            rate: scenario.effective_rate(),
+            seed: scenario.seed() ^ 0x7261_6666,
+        },
+    }
 }
 
 fn main() {
@@ -51,27 +49,34 @@ fn main() {
     println!("PV sigma is 5 mV; the MD election only needs to beat that spread.\n");
     println!("{:<34} {:>18}", "sensor", "MD-VC duty cycle");
 
-    let ideal = run(SensorModel::Ideal, &scaled);
-    println!("{:<34} {:>17.1}%", "ideal", ideal);
-    for (lsb_mv, noise_mv, period) in [
+    let grid = [
         (0.5, 0.25, 10_000u64), // the Singh sensor ballpark
         (1.0, 0.5, 10_000),
         (2.0, 2.0, 10_000),
         (5.0, 5.0, 10_000),
         (10.0, 10.0, 10_000),
-    ] {
-        let duty = run(
+    ];
+    let sensors: Vec<SensorModel> = std::iter::once(SensorModel::Ideal)
+        .chain(grid.iter().map(|&(lsb_mv, noise_mv, period)| {
             SensorModel::Quantized {
                 lsb: Volt::from_millivolts(lsb_mv),
                 noise_sigma: Volt::from_millivolts(noise_mv),
                 period,
-            },
-            &scaled,
-        );
+            }
+        }))
+        .collect();
+    let batch: Vec<ExperimentJob> = sensors.iter().map(|&s| job(s, &scaled)).collect();
+    let results = run_batch(&batch, scaled.jobs);
+    println!(
+        "{:<34} {:>17.1}%",
+        "ideal",
+        results[0].east_input(NodeId(0)).md_duty()
+    );
+    for (&(lsb_mv, noise_mv, _), r) in grid.iter().zip(&results[1..]) {
         println!(
             "{:<34} {:>17.1}%",
             format!("lsb {lsb_mv} mV, noise {noise_mv} mV"),
-            duty
+            r.east_input(NodeId(0)).md_duty()
         );
     }
     println!(

@@ -9,23 +9,25 @@
 
 use nbti_noc_bench::RunOptions;
 use noc_sim::config::NocConfig;
-use noc_sim::topology::Mesh2D;
 use noc_sim::types::NodeId;
-use noc_traffic::app::{AppTraffic, BenchmarkMix};
-use sensorwise::{run_experiment, ExperimentConfig, PolicyKind};
+use noc_traffic::app::BenchmarkMix;
+use sensorwise::{run_batch, ExperimentConfig, ExperimentJob, ExperimentResult, PolicyKind, TrafficSpec};
 
-fn run(policy: PolicyKind, opts: &RunOptions) -> (f64, f64, f64) {
+fn job(policy: PolicyKind, opts: &RunOptions) -> ExperimentJob {
     let noc = NocConfig::paper_synthetic(16, 4);
-    let mesh = Mesh2D::new(noc.cols, noc.rows);
     let mix = BenchmarkMix::from_names(&[
         "radix", "fft", "ocean", "radix", "fft", "lu", "radix", "ocean", "fft", "radix", "lu",
         "ocean", "radix", "fft", "ocean", "radix",
     ]);
-    let mut traffic = AppTraffic::new(mesh, &mix, 7);
-    let cfg = ExperimentConfig::new(noc, policy)
-        .with_cycles(opts.warmup, opts.measure)
-        .with_pv_seed(0xCAFE);
-    let r = run_experiment(&cfg, &mut traffic);
+    ExperimentJob {
+        cfg: ExperimentConfig::new(noc, policy)
+            .with_cycles(opts.warmup, opts.measure)
+            .with_pv_seed(0xCAFE),
+        traffic: TrafficSpec::Mix { mix, seed: 7 },
+    }
+}
+
+fn summarize(r: &ExperimentResult) -> (f64, f64, f64) {
     let port = r.east_input(NodeId(5));
     let avg_duty = port.duty_percent.iter().sum::<f64>() / port.duty_percent.len() as f64;
     (
@@ -47,14 +49,16 @@ fn main() {
         "{:<18} {:>10} {:>10} {:>12}",
         "policy", "MD duty", "avg duty", "avg latency"
     );
-    let mut runs: Vec<(String, (f64, f64, f64))> = Vec::new();
-    runs.push(("baseline".into(), run(PolicyKind::Baseline, &scaled)));
-    for k in [1u8, 2, 3, 4] {
-        runs.push((
-            format!("sensor-wise-k{k}"),
-            run(PolicyKind::SensorWiseK(k), &scaled),
-        ));
-    }
+    let policies: Vec<(String, PolicyKind)> = std::iter::once(("baseline".into(), PolicyKind::Baseline))
+        .chain((1u8..=4).map(|k| (format!("sensor-wise-k{k}"), PolicyKind::SensorWiseK(k))))
+        .collect();
+    let batch: Vec<ExperimentJob> = policies.iter().map(|(_, p)| job(*p, &scaled)).collect();
+    let results = run_batch(&batch, scaled.jobs);
+    let runs: Vec<(String, (f64, f64, f64))> = policies
+        .iter()
+        .zip(&results)
+        .map(|((name, _), r)| (name.clone(), summarize(r)))
+        .collect();
     for (name, (md, avg, lat)) in &runs {
         println!("{name:<18} {md:>9.1}% {avg:>9.1}% {lat:>12.1}");
     }

@@ -10,12 +10,12 @@
 
 use nbti_noc_bench::RunOptions;
 use noc_sim::config::NocConfig;
-use noc_sim::topology::Mesh2D;
 use noc_sim::types::NodeId;
-use noc_traffic::synthetic::SyntheticTraffic;
-use sensorwise::{run_experiment, ExperimentConfig, PolicyKind, SyntheticScenario};
+use sensorwise::{
+    run_batch, ExperimentConfig, ExperimentJob, PolicyKind, SyntheticScenario, TrafficSpec,
+};
 
-fn run(wakeup: u64, policy: PolicyKind, opts: &RunOptions) -> (f64, f64, u64) {
+fn job(wakeup: u64, policy: PolicyKind, opts: &RunOptions) -> ExperimentJob {
     let scenario = SyntheticScenario {
         cores: 4,
         vcs: 2,
@@ -23,23 +23,17 @@ fn run(wakeup: u64, policy: PolicyKind, opts: &RunOptions) -> (f64, f64, u64) {
     };
     let mut noc = NocConfig::paper_synthetic(scenario.cores, scenario.vcs);
     noc.wakeup_latency = wakeup;
-    let mesh = Mesh2D::new(noc.cols, noc.rows);
-    let mut traffic = SyntheticTraffic::uniform(
-        mesh,
-        scenario.effective_rate(),
-        noc.flits_per_packet,
-        scenario.seed() ^ 0x7261_6666,
-    );
     let mut cfg = ExperimentConfig::new(noc, policy)
         .with_cycles(opts.warmup, opts.measure)
         .with_pv_seed(scenario.seed());
     cfg.rr_rotation_period = (wakeup + 1).max(1);
-    let r = run_experiment(&cfg, &mut traffic);
-    (
-        r.east_input(NodeId(0)).md_duty(),
-        r.net.avg_latency().unwrap_or(f64::NAN),
-        r.net.packets_ejected,
-    )
+    ExperimentJob {
+        cfg,
+        traffic: TrafficSpec::Uniform {
+            rate: scenario.effective_rate(),
+            seed: scenario.seed() ^ 0x7261_6666,
+        },
+    }
 }
 
 fn main() {
@@ -54,9 +48,22 @@ fn main() {
         "{:>7} | {:>9} {:>9} {:>8} | {:>10} {:>10}",
         "wakeup", "rr MD", "sw MD", "gap", "rr lat", "sw lat"
     );
-    for wakeup in [0u64, 1, 2, 4, 8, 16] {
-        let (rr_md, rr_lat, _) = run(wakeup, PolicyKind::RrNoSensor, &scaled);
-        let (sw_md, sw_lat, _) = run(wakeup, PolicyKind::SensorWise, &scaled);
+    let wakeups = [0u64, 1, 2, 4, 8, 16];
+    let batch: Vec<ExperimentJob> = wakeups
+        .iter()
+        .flat_map(|&wakeup| {
+            [PolicyKind::RrNoSensor, PolicyKind::SensorWise]
+                .into_iter()
+                .map(move |policy| (wakeup, policy))
+        })
+        .map(|(wakeup, policy)| job(wakeup, policy, &scaled))
+        .collect();
+    let results = run_batch(&batch, scaled.jobs);
+    for (&wakeup, pair) in wakeups.iter().zip(results.chunks_exact(2)) {
+        let rr_md = pair[0].east_input(NodeId(0)).md_duty();
+        let sw_md = pair[1].east_input(NodeId(0)).md_duty();
+        let rr_lat = pair[0].net.avg_latency().unwrap_or(f64::NAN);
+        let sw_lat = pair[1].net.avg_latency().unwrap_or(f64::NAN);
         println!(
             "{wakeup:>7} | {rr_md:>8.1}% {sw_md:>8.1}% {:>7.1}% | {rr_lat:>10.1} {sw_lat:>10.1}",
             rr_md - sw_md

@@ -5,14 +5,14 @@
 
 use nbti_noc_bench::RunOptions;
 use sensorwise::analysis::{best_cooperative_gain, cooperative_gain_rows};
-use sensorwise::tables::synthetic_table;
+use sensorwise::tables::synthetic_table_jobs;
 
 fn main() {
     let opts = RunOptions::from_env();
     eprintln!("[cooperative] rerunning the synthetic scenarios with {opts}");
     let mut all = Vec::new();
     for vcs in [2usize, 4] {
-        let table = synthetic_table(vcs, opts.warmup, opts.measure);
+        let table = synthetic_table_jobs(vcs, opts.warmup, opts.measure, opts.jobs);
         let rows = cooperative_gain_rows(&table);
         println!("=== Cooperative gain on the MD VC ({vcs} VCs) ===");
         println!(

@@ -10,7 +10,7 @@
 //! column).
 
 use nbti_noc_bench::RunOptions;
-use sensorwise::sweep::{gap_peak, gap_sweep};
+use sensorwise::sweep::{gap_peak, gap_sweep_jobs};
 
 fn main() {
     let opts = RunOptions::parse(std::env::args().skip(1));
@@ -20,8 +20,24 @@ fn main() {
     };
     eprintln!("[gap_sweep] sweeping raw injection rates with {scaled}");
     let rates = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
-    let two = gap_sweep(4, 2, &rates, scaled.warmup, scaled.measure, scaled.seed);
-    let four = gap_sweep(4, 4, &rates, scaled.warmup, scaled.measure, scaled.seed);
+    let two = gap_sweep_jobs(
+        4,
+        2,
+        &rates,
+        scaled.warmup,
+        scaled.measure,
+        scaled.seed,
+        scaled.jobs,
+    );
+    let four = gap_sweep_jobs(
+        4,
+        4,
+        &rates,
+        scaled.warmup,
+        scaled.measure,
+        scaled.seed,
+        scaled.jobs,
+    );
 
     println!("=== Gap vs raw injection rate (4-core mesh, router 0 east input) ===");
     println!(

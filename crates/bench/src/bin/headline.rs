@@ -11,16 +11,16 @@ use nbti_noc_bench::RunOptions;
 use sensorwise::analysis::{
     best_cooperative_gain, best_vth_saving, cooperative_gain_rows, vth_saving_rows,
 };
-use sensorwise::tables::{real_traffic_table, synthetic_table};
+use sensorwise::tables::{real_traffic_table_jobs, synthetic_table_jobs};
 
 fn main() {
     let opts = RunOptions::from_env();
     eprintln!("[headline] running all experiments with {opts}");
     let model = LongTermModel::calibrated_45nm();
 
-    let t2 = synthetic_table(4, opts.warmup, opts.measure);
-    let t3 = synthetic_table(2, opts.warmup, opts.measure);
-    let t4 = real_traffic_table(opts.iterations, opts.warmup, opts.measure, opts.seed);
+    let t2 = synthetic_table_jobs(4, opts.warmup, opts.measure, opts.jobs);
+    let t3 = synthetic_table_jobs(2, opts.warmup, opts.measure, opts.jobs);
+    let t4 = real_traffic_table_jobs(opts.iterations, opts.warmup, opts.measure, opts.seed, opts.jobs);
 
     let synth_gap = t2.best_gap().max(t3.best_gap());
     let real_gap = t4.best_gap();

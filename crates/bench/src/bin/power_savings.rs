@@ -5,7 +5,7 @@
 
 use nbti_noc_bench::RunOptions;
 use noc_area::power::{gating_power_report, PowerParams};
-use sensorwise::{PolicyKind, SyntheticScenario};
+use sensorwise::{run_batch, ExperimentJob, PolicyKind, SyntheticScenario};
 
 fn main() {
     let opts = RunOptions::from_env();
@@ -30,8 +30,12 @@ fn main() {
         "{:<24} {:>12} {:>12} {:>12} {:>10}",
         "policy", "always-on", "actual", "saved", "net"
     );
-    for policy in PolicyKind::ALL {
-        let r = scenario.run(policy, scaled.warmup, scaled.measure);
+    let batch: Vec<ExperimentJob> = PolicyKind::ALL
+        .into_iter()
+        .map(|policy| scenario.job(policy, scaled.warmup, scaled.measure))
+        .collect();
+    let results = run_batch(&batch, scaled.jobs);
+    for (policy, r) in PolicyKind::ALL.into_iter().zip(&results) {
         // Every monitored VC buffer in the network, with its duty cycle.
         let duty: Vec<f64> = r
             .ports

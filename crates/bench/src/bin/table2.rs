@@ -4,12 +4,12 @@
 //! flits/cycle/port, sampled on the upper-left router's east input port.
 
 use nbti_noc_bench::RunOptions;
-use sensorwise::tables::synthetic_table;
+use sensorwise::tables::synthetic_table_jobs;
 
 fn main() {
     let opts = RunOptions::from_env();
     eprintln!("[table2] regenerating Table II with {opts}");
-    let table = synthetic_table(4, opts.warmup, opts.measure);
+    let table = synthetic_table_jobs(4, opts.warmup, opts.measure, opts.jobs);
     println!("=== Table II (4 VCs) ===");
     print!("{}", table.render());
     println!(

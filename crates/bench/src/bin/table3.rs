@@ -2,12 +2,12 @@
 //! with 2 VCs per input port.
 
 use nbti_noc_bench::RunOptions;
-use sensorwise::tables::synthetic_table;
+use sensorwise::tables::synthetic_table_jobs;
 
 fn main() {
     let opts = RunOptions::from_env();
     eprintln!("[table3] regenerating Table III with {opts}");
-    let table = synthetic_table(2, opts.warmup, opts.measure);
+    let table = synthetic_table_jobs(2, opts.warmup, opts.measure, opts.jobs);
     println!("=== Table III (2 VCs) ===");
     print!("{}", table.render());
     println!(

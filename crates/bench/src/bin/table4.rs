@@ -4,12 +4,13 @@
 //! the 16-core main-diagonal routers, with 2 VCs.
 
 use nbti_noc_bench::RunOptions;
-use sensorwise::tables::real_traffic_table;
+use sensorwise::tables::real_traffic_table_jobs;
 
 fn main() {
     let opts = RunOptions::from_env();
     eprintln!("[table4] regenerating Table IV with {opts}");
-    let table = real_traffic_table(opts.iterations, opts.warmup, opts.measure, opts.seed);
+    let table =
+        real_traffic_table_jobs(opts.iterations, opts.warmup, opts.measure, opts.seed, opts.jobs);
     println!("=== Table IV (real traffic, 2 VCs) ===");
     print!("{}", table.render());
     println!(

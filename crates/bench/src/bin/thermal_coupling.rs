@@ -11,7 +11,7 @@ use nbti_model::thermal::{ThermalNode, ThermalParams};
 use nbti_model::{LongTermModel, NbtiParams};
 use nbti_noc_bench::RunOptions;
 use noc_area::power::{gating_power_report, PowerParams};
-use sensorwise::{PolicyKind, SyntheticScenario};
+use sensorwise::{run_batch, ExperimentJob, PolicyKind, SyntheticScenario};
 
 fn main() {
     let opts = RunOptions::from_env();
@@ -39,8 +39,12 @@ fn main() {
         "{:<24} {:>8} {:>10} {:>10} {:>12} {:>12}",
         "policy", "MD duty", "buffers", "tile T", "ΔVth fixed", "ΔVth coupled"
     );
-    for policy in PolicyKind::ALL {
-        let r = scenario.run(policy, scaled.warmup, scaled.measure);
+    let batch: Vec<ExperimentJob> = PolicyKind::ALL
+        .into_iter()
+        .map(|policy| scenario.job(policy, scaled.warmup, scaled.measure))
+        .collect();
+    let results = run_batch(&batch, scaled.jobs);
+    for (policy, r) in PolicyKind::ALL.into_iter().zip(&results) {
         let port = r.east_input(noc_sim::types::NodeId(0));
         let duty: Vec<f64> = r
             .ports

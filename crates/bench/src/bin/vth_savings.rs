@@ -6,7 +6,7 @@
 use nbti_model::LongTermModel;
 use nbti_noc_bench::RunOptions;
 use sensorwise::analysis::{best_vth_saving, vth_saving_rows};
-use sensorwise::tables::synthetic_table;
+use sensorwise::tables::synthetic_table_jobs;
 
 fn main() {
     let opts = RunOptions::from_env();
@@ -14,7 +14,7 @@ fn main() {
     let model = LongTermModel::calibrated_45nm();
     let mut all = Vec::new();
     for vcs in [2usize, 4] {
-        let table = synthetic_table(vcs, opts.warmup, opts.measure);
+        let table = synthetic_table_jobs(vcs, opts.warmup, opts.measure, opts.jobs);
         let rows = vth_saving_rows(&table, &model);
         println!("=== 10-year Vth saving vs NBTI-unaware baseline ({vcs} VCs) ===");
         println!(

@@ -5,7 +5,10 @@
 //! * `--measure <cycles>` — measured cycles per run,
 //! * `--warmup <cycles>` — warm-up cycles discarded before measuring,
 //! * `--iterations <n>` — benchmark-mix iterations (Table IV only),
-//! * `--seed <n>` — base seed.
+//! * `--seed <n>` — base seed,
+//! * `--jobs <n>` — worker threads for the parallel experiment engine
+//!   (default: available parallelism; results are bit-identical for any
+//!   value ≥ 1).
 //!
 //! Defaults are sized so the full table regenerates in minutes on a laptop;
 //! pass the paper's `--measure 30000000` for the full-length runs.
@@ -23,6 +26,8 @@ pub struct RunOptions {
     pub iterations: usize,
     /// Base seed.
     pub seed: u64,
+    /// Worker threads for the parallel experiment engine.
+    pub jobs: usize,
 }
 
 impl Default for RunOptions {
@@ -32,6 +37,7 @@ impl Default for RunOptions {
             warmup: 20_000,
             iterations: 10,
             seed: 0xDA7E_2013,
+            jobs: sensorwise::default_jobs(),
         }
     }
 }
@@ -40,8 +46,8 @@ impl fmt::Display for RunOptions {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "warmup={} measure={} iterations={} seed={:#x}",
-            self.warmup, self.measure, self.iterations, self.seed
+            "warmup={} measure={} iterations={} seed={:#x} jobs={}",
+            self.warmup, self.measure, self.iterations, self.seed, self.jobs
         )
     }
 }
@@ -52,7 +58,8 @@ impl RunOptions {
     ///
     /// # Panics
     ///
-    /// Panics with a usage message on malformed arguments.
+    /// Panics with a usage message on malformed arguments, including
+    /// `--jobs 0`.
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
         let mut opts = RunOptions::default();
         let mut it = args.into_iter();
@@ -68,9 +75,13 @@ impl RunOptions {
                 "--warmup" => opts.warmup = next_u64("--warmup"),
                 "--iterations" => opts.iterations = next_u64("--iterations") as usize,
                 "--seed" => opts.seed = next_u64("--seed"),
+                "--jobs" => {
+                    opts.jobs = sensorwise::validate_jobs(next_u64("--jobs") as usize)
+                        .unwrap_or_else(|e| panic!("{e}"));
+                }
                 "--help" | "-h" => {
                     println!(
-                        "flags: --measure <cycles> --warmup <cycles> --iterations <n> --seed <n>"
+                        "flags: --measure <cycles> --warmup <cycles> --iterations <n> --seed <n> --jobs <n>"
                     );
                     std::process::exit(0);
                 }
@@ -85,13 +96,15 @@ impl RunOptions {
         Self::parse(std::env::args().skip(1))
     }
 
-    /// A scaled-down copy for quick runs (used by tests).
+    /// A scaled-down copy for quick runs (used by tests). Serial, so test
+    /// timings don't depend on the host's core count.
     pub fn quick() -> Self {
         RunOptions {
             measure: 10_000,
             warmup: 1_000,
             iterations: 2,
             seed: 7,
+            jobs: 1,
         }
     }
 }
@@ -107,6 +120,7 @@ mod tests {
     #[test]
     fn defaults_without_flags() {
         assert_eq!(parse(&[]), RunOptions::default());
+        assert!(RunOptions::default().jobs >= 1);
     }
 
     #[test]
@@ -120,11 +134,14 @@ mod tests {
             "3",
             "--seed",
             "9",
+            "--jobs",
+            "4",
         ]);
         assert_eq!(o.measure, 5000);
         assert_eq!(o.warmup, 100);
         assert_eq!(o.iterations, 3);
         assert_eq!(o.seed, 9);
+        assert_eq!(o.jobs, 4);
     }
 
     #[test]
@@ -137,5 +154,11 @@ mod tests {
     #[should_panic(expected = "requires a value")]
     fn missing_value_panics() {
         let _ = parse(&["--measure"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "--jobs must be at least 1")]
+    fn zero_jobs_panics() {
+        let _ = parse(&["--jobs", "0"]);
     }
 }

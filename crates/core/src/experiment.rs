@@ -321,20 +321,32 @@ impl SyntheticScenario {
         (self.cores as u64) << 32 | (self.vcs as u64) << 16 | rate_milli
     }
 
+    /// The scenario as a self-contained [`ExperimentJob`], ready for the
+    /// parallel engine: the process-variation seed is the scenario seed
+    /// (shared across policies, as in the paper) and the traffic stream is
+    /// seeded independently of it.
+    ///
+    /// [`ExperimentJob`]: crate::parallel::ExperimentJob
+    pub fn job(
+        &self,
+        policy: PolicyKind,
+        warmup: u64,
+        measure: u64,
+    ) -> crate::parallel::ExperimentJob {
+        crate::parallel::ExperimentJob {
+            cfg: ExperimentConfig::new(NocConfig::paper_synthetic(self.cores, self.vcs), policy)
+                .with_cycles(warmup, measure)
+                .with_pv_seed(self.seed()),
+            traffic: crate::parallel::TrafficSpec::Uniform {
+                rate: self.effective_rate(),
+                seed: self.seed() ^ 0x7261_6666,
+            },
+        }
+    }
+
     /// Runs the scenario under `policy`.
     pub fn run(&self, policy: PolicyKind, warmup: u64, measure: u64) -> ExperimentResult {
-        let noc = NocConfig::paper_synthetic(self.cores, self.vcs);
-        let mesh = noc_sim::topology::Mesh2D::new(noc.cols, noc.rows);
-        let mut traffic = noc_traffic::synthetic::SyntheticTraffic::uniform(
-            mesh,
-            self.effective_rate(),
-            noc.flits_per_packet,
-            self.seed() ^ 0x7261_6666,
-        );
-        let cfg = ExperimentConfig::new(noc, policy)
-            .with_cycles(warmup, measure)
-            .with_pv_seed(self.seed());
-        run_experiment(&cfg, &mut traffic)
+        self.job(policy, warmup, measure).run()
     }
 }
 

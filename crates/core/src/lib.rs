@@ -16,7 +16,10 @@
 //! * [`analysis`] — the headline extractions: activity-factor gaps, the
 //!   ten-year `Vth` saving versus the baseline (E5), and the cooperative
 //!   gain of traffic information (E6),
-//! * [`sweep`] — gap-versus-load sweeps and saturation-point analysis.
+//! * [`sweep`] — gap-versus-load sweeps and saturation-point analysis,
+//! * [`parallel`] — the deterministic parallel experiment engine every
+//!   swept artifact fans out through: bounded worker pool, results in
+//!   input order, bit-identical for any worker count.
 //!
 //! # Example
 //!
@@ -37,6 +40,7 @@
 pub mod analysis;
 pub mod experiment;
 pub mod monitor;
+pub mod parallel;
 pub mod policy;
 pub mod sweep;
 pub mod tables;
@@ -46,4 +50,7 @@ pub use experiment::{
     LOAD_CALIBRATION,
 };
 pub use monitor::NbtiMonitor;
+pub use parallel::{
+    default_jobs, parallel_map, run_batch, validate_jobs, ExperimentJob, TrafficSpec,
+};
 pub use policy::{BaselinePolicy, GatingPolicy, PolicyKind, RrNoSensorPolicy, SensorWisePolicy};

@@ -1,0 +1,297 @@
+//! Deterministic parallel experiment engine.
+//!
+//! Every artifact of the paper — Tables II–IV, the gap-versus-load sweep,
+//! the ablations — is a fan-out of fully independent [`run_experiment`]
+//! calls: each run derives *all* of its randomness (process-variation
+//! `Vth` sampling, traffic injection, sensor noise) from seeds carried in
+//! its own [`ExperimentConfig`] and [`TrafficSpec`], and shares no mutable
+//! state with any other run. That makes the fan-out embarrassingly
+//! parallel *and* lets us promise a hard determinism contract:
+//!
+//! > **`run_batch(jobs, n)` returns bit-identical results for every
+//! > `n ≥ 1`, in input order.**
+//!
+//! Nothing about scheduling can leak into results, because no job ever
+//! observes another job, a thread-local, or a global. The engine is
+//! dependency-free — a bounded worker pool over [`std::thread::scope`]
+//! pulling indices from an atomic counter — since the build environment
+//! has no registry access.
+//!
+//! Higher-level swept APIs ([`crate::sweep::gap_sweep_jobs`],
+//! [`crate::tables::synthetic_table_jobs`], …) all funnel through here,
+//! and the serial entry points are just `jobs = 1` (or
+//! `jobs = `[`default_jobs`]`()`) wrappers — which the determinism
+//! contract makes observably equivalent.
+
+use crate::experiment::{run_experiment, ExperimentConfig, ExperimentResult};
+use noc_sim::topology::Mesh2D;
+use noc_traffic::app::{AppTraffic, BenchmarkMix};
+use noc_traffic::pattern::DestinationPattern;
+use noc_traffic::source::TrafficSource;
+use noc_traffic::synthetic::SyntheticTraffic;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// The default worker count: the machine's available parallelism.
+pub fn default_jobs() -> usize {
+    thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Validates a user-supplied `--jobs` value.
+///
+/// Returns a clear error for `0` (and for unparsable input), so every CLI
+/// front-end rejects it the same way.
+pub fn validate_jobs(jobs: usize) -> Result<usize, String> {
+    if jobs == 0 {
+        Err("--jobs must be at least 1 (0 workers cannot run anything)".to_string())
+    } else {
+        Ok(jobs)
+    }
+}
+
+/// Applies `f` to every item, fanning across at most `jobs` worker
+/// threads, and returns the results **in input order**.
+///
+/// Determinism contract: `f` must derive each result only from its item
+/// (and index) — given that, the output is bit-identical for every
+/// `jobs ≥ 1`. Worker threads pull indices from a shared counter, so an
+/// expensive item never strands the remaining work behind one thread.
+///
+/// A panic inside `f` is propagated to the caller after the scope joins.
+///
+/// # Panics
+///
+/// Panics if `jobs == 0`, or if `f` panicked on any item.
+pub fn parallel_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    assert!(jobs > 0, "jobs must be at least 1 (got 0)");
+    if jobs == 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let workers = jobs.min(items.len());
+    let next = AtomicUsize::new(0);
+    let buckets: Vec<Vec<(usize, R)>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        done.push((i, f(i, item)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(done) => done,
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
+            .collect()
+    });
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (i, r) in buckets.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "index {i} produced twice");
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index was claimed exactly once"))
+        .collect()
+}
+
+/// A self-contained traffic recipe: everything needed to rebuild the
+/// traffic source inside a worker, with randomness derived solely from the
+/// embedded seed.
+#[derive(Debug, Clone)]
+pub enum TrafficSpec {
+    /// Uniform-random synthetic traffic at a raw injection rate
+    /// (flits/cycle/node).
+    Uniform {
+        /// Raw injection rate in flits/cycle/node.
+        rate: f64,
+        /// Injection/destination seed.
+        seed: u64,
+    },
+    /// Synthetic traffic under an arbitrary destination pattern.
+    Pattern {
+        /// The destination pattern.
+        pattern: DestinationPattern,
+        /// Raw injection rate in flits/cycle/node.
+        rate: f64,
+        /// Injection/destination seed.
+        seed: u64,
+    },
+    /// Application traffic from a benchmark mix (Table IV's workload).
+    Mix {
+        /// One benchmark profile per core.
+        mix: BenchmarkMix,
+        /// Injection seed.
+        seed: u64,
+    },
+}
+
+impl TrafficSpec {
+    /// Builds the traffic source for a network of the given configuration.
+    pub fn build(&self, noc: &noc_sim::config::NocConfig) -> Box<dyn TrafficSource> {
+        let mesh = Mesh2D::new(noc.cols, noc.rows);
+        match self {
+            TrafficSpec::Uniform { rate, seed } => Box::new(SyntheticTraffic::uniform(
+                mesh,
+                *rate,
+                noc.flits_per_packet,
+                *seed,
+            )),
+            TrafficSpec::Pattern {
+                pattern,
+                rate,
+                seed,
+            } => Box::new(SyntheticTraffic::new(
+                mesh,
+                pattern.clone(),
+                *rate,
+                noc.flits_per_packet,
+                *seed,
+            )),
+            TrafficSpec::Mix { mix, seed } => Box::new(AppTraffic::new(mesh, mix, *seed)),
+        }
+    }
+}
+
+/// One independent experiment: a configuration plus the traffic recipe
+/// that seeds it.
+#[derive(Debug, Clone)]
+pub struct ExperimentJob {
+    /// The experiment configuration (carries the process-variation seed).
+    pub cfg: ExperimentConfig,
+    /// The traffic recipe (carries the injection seed).
+    pub traffic: TrafficSpec,
+}
+
+impl ExperimentJob {
+    /// Runs this job serially.
+    pub fn run(&self) -> ExperimentResult {
+        let mut traffic = self.traffic.build(&self.cfg.noc);
+        run_experiment(&self.cfg, traffic.as_mut())
+    }
+}
+
+/// Runs a batch of independent experiments across at most `jobs` worker
+/// threads, returning results in input order.
+///
+/// Bit-identical for every `jobs ≥ 1`: each job's RNG streams derive only
+/// from its own seeds.
+///
+/// # Panics
+///
+/// Panics if `jobs == 0` or any job's configuration is invalid.
+pub fn run_batch(batch: &[ExperimentJob], jobs: usize) -> Vec<ExperimentResult> {
+    parallel_map(batch, jobs, |_, job| job.run())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::SyntheticScenario;
+    use crate::policy::PolicyKind;
+    use noc_sim::config::NocConfig;
+    use noc_sim::types::NodeId;
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<usize> = (0..64).collect();
+        for jobs in [1, 2, 3, 8] {
+            let out = parallel_map(&items, jobs, |i, &x| {
+                assert_eq!(i, x);
+                x * 10
+            });
+            assert_eq!(out, (0..64).map(|x| x * 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_fewer_items_than_workers() {
+        let out = parallel_map(&[5usize], 16, |_, &x| x + 1);
+        assert_eq!(out, vec![6]);
+        let empty: Vec<usize> = Vec::new();
+        assert!(parallel_map(&empty, 4, |_, &x: &usize| x).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "jobs must be at least 1")]
+    fn zero_jobs_panics() {
+        let _ = parallel_map(&[1, 2, 3], 0, |_, &x: &i32| x);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        let items: Vec<usize> = (0..8).collect();
+        let _ = parallel_map(&items, 4, |_, &x| {
+            if x == 5 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn validate_jobs_rejects_zero_with_clear_error() {
+        assert_eq!(validate_jobs(3), Ok(3));
+        let err = validate_jobs(0).unwrap_err();
+        assert!(err.contains("--jobs must be at least 1"), "{err}");
+    }
+
+    /// The engine's core promise on a real workload: the same batch run
+    /// serially and on a pool produces byte-for-byte identical duty
+    /// cycles, latencies and flit counts.
+    #[test]
+    fn batch_results_are_identical_across_worker_counts() {
+        let scenario = SyntheticScenario {
+            cores: 4,
+            vcs: 2,
+            injection_rate: 0.15,
+        };
+        let batch: Vec<ExperimentJob> = [PolicyKind::RrNoSensor, PolicyKind::SensorWise]
+            .into_iter()
+            .flat_map(|policy| {
+                [3u64, 11].into_iter().map(move |seed| ExperimentJob {
+                    cfg: ExperimentConfig::new(
+                        NocConfig::paper_synthetic(scenario.cores, scenario.vcs),
+                        policy,
+                    )
+                    .with_cycles(300, 2_500)
+                    .with_pv_seed(seed),
+                    traffic: TrafficSpec::Uniform {
+                        rate: scenario.effective_rate(),
+                        seed: seed ^ 0x7261_6666,
+                    },
+                })
+            })
+            .collect();
+        let serial = run_batch(&batch, 1);
+        let pooled = run_batch(&batch, 4);
+        assert_eq!(serial.len(), pooled.len());
+        for (a, b) in serial.iter().zip(&pooled) {
+            assert_eq!(a.policy, b.policy);
+            assert_eq!(a.measured_cycles, b.measured_cycles);
+            assert_eq!(a.net, b.net);
+            for (pa, pb) in a.ports.iter().zip(&b.ports) {
+                assert_eq!(pa, pb, "port results diverged across worker counts");
+            }
+        }
+        // And the batch genuinely exercised the network.
+        assert!(serial[0].net.packets_ejected > 0);
+        let _ = serial[0].east_input(NodeId(0));
+    }
+}

@@ -6,13 +6,17 @@
 //! programmatic sweep behind the `gap_sweep` binary plus a saturation-point
 //! finder, so the trend can be asserted in tests and recomputed for any
 //! configuration.
+//!
+//! Both sweeps fan out through the [`crate::parallel`] engine: every
+//! `_jobs` variant returns **bit-identical** results for any worker count,
+//! because each probe derives its RNG streams solely from its own seeds.
+//! The unsuffixed entry points are [`default_jobs`]-wide wrappers.
 
-use crate::experiment::{run_experiment, ExperimentConfig};
+use crate::experiment::ExperimentConfig;
+use crate::parallel::{default_jobs, parallel_map, run_batch, ExperimentJob, TrafficSpec};
 use crate::policy::PolicyKind;
 use noc_sim::config::NocConfig;
-use noc_sim::topology::Mesh2D;
 use noc_sim::types::NodeId;
-use noc_traffic::synthetic::SyntheticTraffic;
 
 /// One point of a gap-versus-load sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,7 +36,8 @@ pub struct SweepPoint {
 }
 
 /// Sweeps raw injection rates on a square mesh, sampling router 0's east
-/// input port (the paper's sampling point).
+/// input port (the paper's sampling point). Uses every available core; see
+/// [`gap_sweep_jobs`] for explicit worker control.
 ///
 /// # Panics
 ///
@@ -45,38 +50,63 @@ pub fn gap_sweep(
     measure: u64,
     seed: u64,
 ) -> Vec<SweepPoint> {
+    gap_sweep_jobs(cores, vcs, rates, warmup, measure, seed, default_jobs())
+}
+
+/// The policies compared at every sweep point, in result order.
+const SWEEP_POLICIES: [PolicyKind; 2] = [PolicyKind::RrNoSensor, PolicyKind::SensorWise];
+
+/// [`gap_sweep`] with an explicit worker count: all `2 × rates.len()`
+/// experiments (rr-no-sensor and sensor-wise per rate) fan out through
+/// [`run_batch`].
+///
+/// Determinism contract: bit-identical output for every `jobs ≥ 1` — both
+/// policies of a rate share the process-variation seed (as in the paper)
+/// and every run derives its RNG streams only from its own seeds.
+///
+/// # Panics
+///
+/// Panics if `rates` is empty, `jobs` is zero, or the configuration is
+/// invalid.
+pub fn gap_sweep_jobs(
+    cores: usize,
+    vcs: usize,
+    rates: &[f64],
+    warmup: u64,
+    measure: u64,
+    seed: u64,
+    jobs: usize,
+) -> Vec<SweepPoint> {
     assert!(!rates.is_empty(), "at least one rate required");
+    let batch: Vec<ExperimentJob> = rates
+        .iter()
+        .flat_map(|&rate| {
+            SWEEP_POLICIES.into_iter().map(move |policy| ExperimentJob {
+                cfg: ExperimentConfig::new(NocConfig::paper_synthetic(cores, vcs), policy)
+                    .with_cycles(warmup, measure)
+                    .with_pv_seed(seed ^ (vcs as u64) << 8),
+                traffic: TrafficSpec::Uniform {
+                    rate,
+                    seed: seed ^ 0xABCD,
+                },
+            })
+        })
+        .collect();
+    let results = run_batch(&batch, jobs);
     rates
         .iter()
-        .map(|&rate| {
-            let mut duties = [0.0f64; 2];
-            let mut latency = 0.0;
-            let mut throughput = 0.0;
-            for (i, policy) in [PolicyKind::RrNoSensor, PolicyKind::SensorWise]
-                .into_iter()
-                .enumerate()
-            {
-                let noc = NocConfig::paper_synthetic(cores, vcs);
-                let mesh = Mesh2D::new(noc.cols, noc.rows);
-                let mut traffic =
-                    SyntheticTraffic::uniform(mesh, rate, noc.flits_per_packet, seed ^ 0xABCD);
-                let cfg = ExperimentConfig::new(noc, policy)
-                    .with_cycles(warmup, measure)
-                    .with_pv_seed(seed ^ (vcs as u64) << 8);
-                let r = run_experiment(&cfg, &mut traffic);
-                duties[i] = r.east_input(NodeId(0)).md_duty();
-                if policy == PolicyKind::SensorWise {
-                    latency = r.net.avg_latency().unwrap_or(f64::NAN);
-                    throughput = r.net.throughput(r.measured_cycles);
-                }
-            }
+        .zip(results.chunks_exact(SWEEP_POLICIES.len()))
+        .map(|(&rate, pair)| {
+            let (rr, sw) = (&pair[0], &pair[1]);
+            let rr_md_duty = rr.east_input(NodeId(0)).md_duty();
+            let sw_md_duty = sw.east_input(NodeId(0)).md_duty();
             SweepPoint {
                 rate,
-                rr_md_duty: duties[0],
-                sw_md_duty: duties[1],
-                gap: duties[0] - duties[1],
-                sw_latency: latency,
-                sw_throughput: throughput,
+                rr_md_duty,
+                sw_md_duty,
+                gap: rr_md_duty - sw_md_duty,
+                sw_latency: sw.net.avg_latency().unwrap_or(f64::NAN),
+                sw_throughput: sw.net.throughput(sw.measured_cycles),
             }
         })
         .collect()
@@ -92,8 +122,8 @@ pub fn gap_peak(points: &[SweepPoint]) -> Option<SweepPoint> {
 
 /// Estimates the saturation rate of a configuration by bisection: the
 /// lowest injection rate at which the delivered throughput falls short of
-/// the offered load by more than `shortfall` (fractional), meaning queues
-/// grow without bound.
+/// the offered load by more than 10 % (fractional), meaning queues grow
+/// without bound. Uses every available core; see [`saturation_rate_jobs`].
 ///
 /// Returns a rate within `tol` of the saturation onset.
 ///
@@ -109,33 +139,103 @@ pub fn saturation_rate(
     cycles: u64,
     seed: u64,
 ) -> f64 {
+    saturation_rate_jobs(cores, vcs, lo, hi, tol, cycles, seed, default_jobs())
+}
+
+/// [`saturation_rate`] with an explicit worker count, parallelized by
+/// **speculative bisection**: each round pre-probes the complete midpoint
+/// tree of the next `d` bisection levels (`2^d − 1` rates, with
+/// `2^d − 1 ≤ jobs`, capped) concurrently, then walks `d` classic
+/// bisection steps against the cached outcomes.
+///
+/// Because the walk visits exactly the midpoints a serial bisection would
+/// visit — each tree point is produced by the same `(lo + hi) / 2`
+/// recursion — the returned rate is **bit-identical for every
+/// `jobs ≥ 1`**; extra workers only buy wall-clock (≈`d×` fewer
+/// sequential probe rounds) at the cost of speculative probes on the
+/// untaken branch.
+///
+/// # Panics
+///
+/// Panics if bounds or tolerances are not positive and ordered, or if
+/// `jobs` is zero.
+#[allow(clippy::too_many_arguments)]
+pub fn saturation_rate_jobs(
+    cores: usize,
+    vcs: usize,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+    cycles: u64,
+    seed: u64,
+    jobs: usize,
+) -> f64 {
     assert!(lo > 0.0 && hi > lo && tol > 0.0, "bad bisection bounds");
+    assert!(jobs > 0, "jobs must be at least 1 (got 0)");
     let saturated = |rate: f64| -> bool {
         let noc = NocConfig::paper_synthetic(cores, vcs);
-        let mesh = Mesh2D::new(noc.cols, noc.rows);
-        let mut traffic = SyntheticTraffic::uniform(mesh, rate, noc.flits_per_packet, seed ^ 0x5A7);
-        let cfg = ExperimentConfig::new(noc, PolicyKind::Baseline).with_cycles(cycles / 5, cycles);
-        let r = run_experiment(&cfg, &mut traffic);
+        let job = ExperimentJob {
+            cfg: ExperimentConfig::new(noc, PolicyKind::Baseline).with_cycles(cycles / 5, cycles),
+            traffic: TrafficSpec::Uniform {
+                rate,
+                seed: seed ^ 0x5A7,
+            },
+        };
+        let r = job.run();
         let offered = rate * cores as f64;
         let delivered = r.net.throughput(r.measured_cycles);
         delivered < offered * (1.0 - 0.1)
     };
-    let (mut lo, mut hi) = (lo, hi);
-    if saturated(lo) {
+    // Both endpoint probes are independent — run them as one mini-batch.
+    let ends = parallel_map(&[lo, hi], jobs, |_, &rate| saturated(rate));
+    if ends[0] {
         return lo;
     }
-    if !saturated(hi) {
+    if !ends[1] {
         return hi;
     }
+    // Speculation depth: the largest complete midpoint tree that fits the
+    // worker budget, capped so speculative waste stays bounded.
+    let mut depth = 1u32;
+    while depth < 4 && (1usize << (depth + 1)) - 1 <= jobs {
+        depth += 1;
+    }
+    let (mut lo, mut hi) = (lo, hi);
     while hi - lo > tol {
-        let mid = (lo + hi) / 2.0;
-        if saturated(mid) {
-            hi = mid;
-        } else {
-            lo = mid;
+        let mut points = Vec::with_capacity((1 << depth) - 1);
+        collect_midpoint_tree(lo, hi, depth, &mut points);
+        let outcomes = parallel_map(&points, jobs, |_, &rate| saturated(rate));
+        let cached: std::collections::HashMap<u64, bool> = points
+            .iter()
+            .map(|p| p.to_bits())
+            .zip(outcomes)
+            .collect();
+        for _ in 0..depth {
+            if hi - lo <= tol {
+                break;
+            }
+            let mid = (lo + hi) / 2.0;
+            if cached[&mid.to_bits()] {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
         }
     }
     (lo + hi) / 2.0
+}
+
+/// Collects the midpoints a serial bisection could visit in the next
+/// `depth` steps from `[lo, hi]`, via the same `(lo + hi) / 2` float
+/// arithmetic, so cached lookups match the walk exactly.
+fn collect_midpoint_tree(lo: f64, hi: f64, depth: u32, out: &mut Vec<f64>) {
+    if depth == 0 {
+        return;
+    }
+    let mid = (lo + hi) / 2.0;
+    out.push(mid);
+    collect_midpoint_tree(lo, mid, depth - 1, out);
+    collect_midpoint_tree(mid, hi, depth - 1, out);
 }
 
 #[cfg(test)]
@@ -178,6 +278,30 @@ mod tests {
     fn saturation_sits_between_light_and_overload() {
         let sat = saturation_rate(4, 2, 0.1, 1.2, 0.1, 6_000, 5);
         assert!(sat > 0.3 && sat < 1.2, "implausible saturation rate {sat}");
+    }
+
+    #[test]
+    fn saturation_is_identical_across_worker_counts() {
+        let serial = saturation_rate_jobs(4, 2, 0.2, 1.1, 0.05, 2_500, 9, 1);
+        for jobs in [2, 4, 8] {
+            let pooled = saturation_rate_jobs(4, 2, 0.2, 1.1, 0.05, 2_500, 9, jobs);
+            assert_eq!(
+                serial.to_bits(),
+                pooled.to_bits(),
+                "speculative bisection diverged at jobs={jobs}: {serial} vs {pooled}"
+            );
+        }
+    }
+
+    #[test]
+    fn midpoint_tree_matches_serial_bisection_arithmetic() {
+        let mut points = Vec::new();
+        collect_midpoint_tree(0.25, 1.0, 2, &mut points);
+        let mid: f64 = (0.25 + 1.0) / 2.0;
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0].to_bits(), mid.to_bits());
+        assert_eq!(points[1].to_bits(), ((0.25 + mid) / 2.0).to_bits());
+        assert_eq!(points[2].to_bits(), ((mid + 1.0) / 2.0).to_bits());
     }
 
     #[test]

@@ -14,13 +14,14 @@
 //! the paper's layout, so benches, examples and EXPERIMENTS.md all share
 //! the same source of truth.
 
-use crate::experiment::{run_experiment, ExperimentConfig, SyntheticScenario};
+use crate::experiment::{ExperimentConfig, SyntheticScenario};
+use crate::parallel::{default_jobs, run_batch, ExperimentJob, TrafficSpec};
 use crate::policy::PolicyKind;
 use noc_sim::config::NocConfig;
 use noc_sim::topology::Mesh2D;
 use noc_sim::types::{Direction, NodeId};
 use noc_sim::view::PortId;
-use noc_traffic::app::{AppTraffic, BenchmarkMix};
+use noc_traffic::app::BenchmarkMix;
 use std::fmt::Write as _;
 
 /// One row of Table II / Table III.
@@ -65,27 +66,64 @@ pub struct SyntheticTable {
 /// rr-no-sensor, sensor-wise-no-traffic, sensor-wise; sampled on the east
 /// input port of router 0 (upper-left), as in the paper.
 pub fn synthetic_table(vcs: usize, warmup: u64, measure: u64) -> SyntheticTable {
-    let mut rows = Vec::new();
-    for cores in [4usize, 16] {
-        for rate in [0.1, 0.2, 0.3] {
-            let scenario = SyntheticScenario {
+    synthetic_table_jobs(vcs, warmup, measure, default_jobs())
+}
+
+/// [`synthetic_table`] with an explicit worker count: all
+/// `scenarios × policies` experiments (18 per table) fan out through the
+/// parallel engine's [`run_batch`], bit-identical for every `jobs ≥ 1`.
+///
+/// # Panics
+///
+/// Panics if `jobs` is zero.
+pub fn synthetic_table_jobs(vcs: usize, warmup: u64, measure: u64, jobs: usize) -> SyntheticTable {
+    let scenarios: Vec<SyntheticScenario> = [4usize, 16]
+        .into_iter()
+        .flat_map(|cores| {
+            [0.1, 0.2, 0.3].into_iter().map(move |rate| SyntheticScenario {
                 cores,
                 vcs,
                 injection_rate: rate,
-            };
-            rows.push(synthetic_row(scenario, warmup, measure));
-        }
-    }
+            })
+        })
+        .collect();
+    let batch: Vec<ExperimentJob> = scenarios
+        .iter()
+        .flat_map(|s| {
+            PolicyKind::TABLE_POLICIES
+                .into_iter()
+                .map(|policy| s.job(policy, warmup, measure))
+        })
+        .collect();
+    let results = run_batch(&batch, jobs);
+    let rows = scenarios
+        .iter()
+        .zip(results.chunks_exact(PolicyKind::TABLE_POLICIES.len()))
+        .map(|(&scenario, chunk)| assemble_synthetic_row(scenario, chunk))
+        .collect();
     SyntheticTable { vcs, rows }
 }
 
 /// Builds a single synthetic-table row (useful for quick looks and tests).
 pub fn synthetic_row(scenario: SyntheticScenario, warmup: u64, measure: u64) -> SyntheticRow {
+    let batch: Vec<ExperimentJob> = PolicyKind::TABLE_POLICIES
+        .into_iter()
+        .map(|policy| scenario.job(policy, warmup, measure))
+        .collect();
+    let results = run_batch(&batch, default_jobs());
+    assemble_synthetic_row(scenario, &results)
+}
+
+/// Folds the per-policy results of one scenario (in
+/// [`PolicyKind::TABLE_POLICIES`] order) into a table row.
+fn assemble_synthetic_row(
+    scenario: SyntheticScenario,
+    results: &[crate::experiment::ExperimentResult],
+) -> SyntheticRow {
     let sample = NodeId(0);
     let mut duty = Vec::new();
     let mut md_vc = 0;
-    for policy in PolicyKind::TABLE_POLICIES {
-        let result = scenario.run(policy, warmup, measure);
+    for (policy, result) in PolicyKind::TABLE_POLICIES.into_iter().zip(results) {
         let port = result.east_input(sample);
         md_vc = port.md_vc;
         duty.push((policy, port.duty_percent.clone()));
@@ -212,6 +250,21 @@ pub fn real_traffic_table(
     measure: u64,
     seed: u64,
 ) -> RealTrafficTable {
+    real_traffic_table_jobs(iterations, warmup, measure, seed, default_jobs())
+}
+
+/// [`real_traffic_table`] with an explicit worker count.
+///
+/// # Panics
+///
+/// Panics if `iterations` or `jobs` is zero.
+pub fn real_traffic_table_jobs(
+    iterations: usize,
+    warmup: u64,
+    measure: u64,
+    seed: u64,
+    jobs: usize,
+) -> RealTrafficTable {
     let mut rows = Vec::new();
     // (cores, sampled ports with labels)
     let four_core: Vec<(String, PortId)> = vec![
@@ -251,8 +304,8 @@ pub fn real_traffic_table(
         ),
     ];
     for (cores, samples) in [(4usize, four_core), (16usize, sixteen_core)] {
-        rows.extend(real_traffic_rows(
-            cores, 2, &samples, iterations, warmup, measure, seed,
+        rows.extend(real_traffic_rows_jobs(
+            cores, 2, &samples, iterations, warmup, measure, seed, jobs,
         ));
     }
     RealTrafficTable { iterations, rows }
@@ -268,25 +321,67 @@ pub fn real_traffic_rows(
     measure: u64,
     seed: u64,
 ) -> Vec<RealTrafficRow> {
+    real_traffic_rows_jobs(
+        cores,
+        vcs,
+        samples,
+        iterations,
+        warmup,
+        measure,
+        seed,
+        default_jobs(),
+    )
+}
+
+/// [`real_traffic_rows`] with an explicit worker count: the
+/// `iterations × 2` experiments (rr-no-sensor and sensor-wise per
+/// benchmark mix) fan out through [`run_batch`], bit-identical for every
+/// `jobs ≥ 1` — the mix and injection seeds depend only on the iteration
+/// index, never on scheduling.
+///
+/// # Panics
+///
+/// Panics if `iterations` or `jobs` is zero.
+#[allow(clippy::too_many_arguments)]
+pub fn real_traffic_rows_jobs(
+    cores: usize,
+    vcs: usize,
+    samples: &[(String, PortId)],
+    iterations: usize,
+    warmup: u64,
+    measure: u64,
+    seed: u64,
+    jobs: usize,
+) -> Vec<RealTrafficRow> {
     assert!(iterations > 0, "at least one iteration required");
     let noc = NocConfig::paper_synthetic(cores, vcs);
     let mesh = Mesh2D::new(noc.cols, noc.rows);
     let pv_seed = seed ^ ((cores as u64) << 8);
+    const ROW_POLICIES: [PolicyKind; 2] = [PolicyKind::RrNoSensor, PolicyKind::SensorWise];
+    let batch: Vec<ExperimentJob> = (0..iterations)
+        .flat_map(|iter| {
+            let mix = BenchmarkMix::random(mesh.num_nodes(), seed.wrapping_add(iter as u64 * 7919));
+            ROW_POLICIES.into_iter().map({
+                let noc = &noc;
+                move |policy| ExperimentJob {
+                    cfg: ExperimentConfig::new(noc.clone(), policy)
+                        .with_cycles(warmup, measure)
+                        .with_pv_seed(pv_seed),
+                    traffic: TrafficSpec::Mix {
+                        mix: mix.clone(),
+                        seed: seed.wrapping_add(iter as u64),
+                    },
+                }
+            })
+        })
+        .collect();
+    let results = run_batch(&batch, jobs);
     // duty[policy][sample][iteration] -> Vec<f64> per VC
     let mut duty: Vec<Vec<Vec<Vec<f64>>>> =
         vec![vec![Vec::with_capacity(iterations); samples.len()]; 2];
     let mut md: Vec<usize> = vec![0; samples.len()];
-    for iter in 0..iterations {
-        let mix = BenchmarkMix::random(mesh.num_nodes(), seed.wrapping_add(iter as u64 * 7919));
-        for (p_idx, policy) in [PolicyKind::RrNoSensor, PolicyKind::SensorWise]
-            .into_iter()
-            .enumerate()
-        {
-            let mut traffic = AppTraffic::new(mesh, &mix, seed.wrapping_add(iter as u64));
-            let cfg = ExperimentConfig::new(noc.clone(), policy)
-                .with_cycles(warmup, measure)
-                .with_pv_seed(pv_seed);
-            let result = run_experiment(&cfg, &mut traffic);
+    for chunk in results.chunks_exact(ROW_POLICIES.len()) {
+        for (p_idx, result) in chunk.iter().enumerate() {
             for (s_idx, (_, pid)) in samples.iter().enumerate() {
                 let port = result.port(*pid).expect("sampled port exists");
                 duty[p_idx][s_idx].push(port.duty_percent.clone());

@@ -246,9 +246,7 @@ impl<S: NbtiSensor> NbtiSensor for FaultySensor<S> {
     fn sample(&mut self, true_vth: Volt, cycle: u64) -> Volt {
         match self.mode {
             FaultMode::Stuck => {
-                let first = *self
-                    .stuck_at
-                    .get_or_insert_with(|| true_vth);
+                let first = *self.stuck_at.get_or_insert(true_vth);
                 let _ = self.inner.sample(first, cycle);
                 first
             }

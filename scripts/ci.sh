@@ -1,0 +1,13 @@
+#!/usr/bin/env sh
+# Tier-1 verification: release build, full test suite, and a warning-free
+# clippy pass over every target. Run from anywhere; works offline (all
+# external deps are vendored under compat/).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline
+cargo clippy --all-targets --offline -- -D warnings
+
+echo "ci: all green"

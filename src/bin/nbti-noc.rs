@@ -66,6 +66,11 @@ impl Args {
     }
 }
 
+/// Parses `--jobs` (default: available parallelism) and rejects zero.
+fn parse_jobs(args: &Args) -> Result<usize, String> {
+    validate_jobs(args.get("jobs", default_jobs())?)
+}
+
 fn parse_policy(name: &str) -> Result<PolicyKind, String> {
     match name {
         "baseline" => Ok(PolicyKind::Baseline),
@@ -149,21 +154,30 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     let vcs = args.get("vcs", 2usize)?;
     let warmup = args.get("warmup", 2_000u64)?;
     let measure = args.get("measure", 30_000u64)?;
+    let jobs = parse_jobs(args)?;
     println!(
         "{:>6} {:>10} {:>10} {:>8}   ({}x{} mesh, {} VCs, MD VC of r0 east)",
         "rate", "rr MD", "sw MD", "gap", cores, cores, vcs
     );
-    for rate in [0.05, 0.1, 0.15, 0.2, 0.25, 0.3] {
-        let scenario = SyntheticScenario {
-            cores,
-            vcs,
-            injection_rate: rate,
-        };
-        let rr = scenario.run(PolicyKind::RrNoSensor, warmup, measure);
-        let sw = scenario.run(PolicyKind::SensorWise, warmup, measure);
+    let rates = [0.05, 0.1, 0.15, 0.2, 0.25, 0.3];
+    let batch: Vec<ExperimentJob> = rates
+        .iter()
+        .flat_map(|&rate| {
+            let scenario = SyntheticScenario {
+                cores,
+                vcs,
+                injection_rate: rate,
+            };
+            [PolicyKind::RrNoSensor, PolicyKind::SensorWise]
+                .into_iter()
+                .map(move |policy| scenario.job(policy, warmup, measure))
+        })
+        .collect();
+    let results = run_batch(&batch, jobs);
+    for (&rate, pair) in rates.iter().zip(results.chunks_exact(2)) {
         let (a, b) = (
-            rr.east_input(NodeId(0)).md_duty(),
-            sw.east_input(NodeId(0)).md_duty(),
+            pair[0].east_input(NodeId(0)).md_duty(),
+            pair[1].east_input(NodeId(0)).md_duty(),
         );
         println!("{rate:>6.2} {a:>9.1}% {b:>9.1}% {:>7.1}%", a - b);
     }
@@ -224,7 +238,7 @@ const HELP: &str = "nbti-noc — sensor-wise NBTI mitigation for NoC buffers (DA
 
 subcommands:
   run     one scenario under one policy    [--cores --vcs --rate --policy --warmup --measure --csv]
-  sweep   gap vs injection rate            [--cores --vcs --warmup --measure]
+  sweep   gap vs injection rate            [--cores --vcs --warmup --measure --jobs]
   record  record a synthetic trace         --out FILE [--cores --rate --cycles --seed]
   replay  replay a trace under a policy    --trace FILE [--cores --vcs --policy --csv]
   area    print the §III-D area overhead report

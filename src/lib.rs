@@ -36,7 +36,7 @@ pub mod prelude {
     pub use noc_sim::prelude::*;
     pub use noc_traffic::prelude::*;
     pub use sensorwise::{
-        run_experiment, ExperimentConfig, ExperimentResult, NbtiMonitor, PolicyKind,
-        SyntheticScenario,
+        default_jobs, run_batch, run_experiment, validate_jobs, ExperimentConfig, ExperimentJob,
+        ExperimentResult, NbtiMonitor, PolicyKind, SyntheticScenario, TrafficSpec,
     };
 }

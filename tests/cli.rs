@@ -93,6 +93,30 @@ fn record_then_replay_round_trips() {
 }
 
 #[test]
+fn sweep_accepts_jobs_and_results_do_not_depend_on_it() {
+    let base = [
+        "sweep", "--cores", "4", "--vcs", "2", "--warmup", "200", "--measure", "1500",
+    ];
+    let mut serial = base.to_vec();
+    serial.extend(["--jobs", "1"]);
+    let mut pooled = base.to_vec();
+    pooled.extend(["--jobs", "4"]);
+    let (out1, _, ok1) = run(&serial);
+    let (out4, _, ok4) = run(&pooled);
+    assert!(ok1, "{out1}");
+    assert!(ok4, "{out4}");
+    assert!(out1.contains("rate"), "{out1}");
+    assert_eq!(out1, out4, "sweep output must not depend on --jobs");
+}
+
+#[test]
+fn sweep_rejects_zero_jobs_with_clear_error() {
+    let (_, stderr, ok) = run(&["sweep", "--jobs", "0"]);
+    assert!(!ok);
+    assert!(stderr.contains("--jobs must be at least 1"), "{stderr}");
+}
+
+#[test]
 fn area_prints_paper_anchors() {
     let (stdout, _, ok) = run(&["area"]);
     assert!(ok);

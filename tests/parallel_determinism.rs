@@ -1,0 +1,128 @@
+//! Regression tests for the parallel experiment engine's determinism
+//! contract, plus property tests on the sweep analysis helpers.
+//!
+//! The contract under test: every `_jobs` entry point returns
+//! **bit-identical** results for any worker count, because each experiment
+//! derives its RNG streams solely from seeds carried in its own config and
+//! traffic spec — scheduling can never leak into results.
+
+use proptest::prelude::*;
+use sensorwise::sweep::{gap_peak, gap_sweep_jobs, saturation_rate_jobs, SweepPoint};
+use sensorwise::{ExperimentConfig, ExperimentJob, PolicyKind, TrafficSpec};
+
+/// The ISSUE's headline regression: `gap_sweep` on one worker and on four
+/// workers must produce bit-identical `SweepPoint` vectors for the same
+/// seeds.
+#[test]
+fn gap_sweep_is_bit_identical_for_jobs_1_and_4() {
+    let rates = [0.1, 0.25, 0.4, 0.6];
+    let serial = gap_sweep_jobs(4, 2, &rates, 400, 3_000, 13, 1);
+    let pooled = gap_sweep_jobs(4, 2, &rates, 400, 3_000, 13, 4);
+    assert_eq!(serial.len(), pooled.len());
+    for (a, b) in serial.iter().zip(&pooled) {
+        assert_eq!(a.rate.to_bits(), b.rate.to_bits());
+        assert_eq!(a.rr_md_duty.to_bits(), b.rr_md_duty.to_bits());
+        assert_eq!(a.sw_md_duty.to_bits(), b.sw_md_duty.to_bits());
+        assert_eq!(a.gap.to_bits(), b.gap.to_bits());
+        assert_eq!(a.sw_latency.to_bits(), b.sw_latency.to_bits());
+        assert_eq!(a.sw_throughput.to_bits(), b.sw_throughput.to_bits());
+    }
+}
+
+/// Mirrors the saturation probe `saturation_rate_jobs` runs internally
+/// (same policy, cycles split, and traffic seed), so the tests below can
+/// check what the bisection concluded about individual rates.
+fn probe_saturated(cores: usize, vcs: usize, rate: f64, cycles: u64, seed: u64) -> bool {
+    let noc = noc_sim::config::NocConfig::paper_synthetic(cores, vcs);
+    let job = ExperimentJob {
+        cfg: ExperimentConfig::new(noc, PolicyKind::Baseline).with_cycles(cycles / 5, cycles),
+        traffic: TrafficSpec::Uniform {
+            rate,
+            seed: seed ^ 0x5A7,
+        },
+    };
+    let r = job.run();
+    let offered = rate * cores as f64;
+    r.net.throughput(r.measured_cycles) < offered * (1.0 - 0.1)
+}
+
+fn finite_point() -> impl Strategy<Value = SweepPoint> {
+    (
+        0.01f64..1.0,
+        0.0f64..100.0,
+        0.0f64..100.0,
+        -100.0f64..100.0,
+        0.0f64..1000.0,
+        0.0f64..10.0,
+    )
+        .prop_map(
+            |(rate, rr_md_duty, sw_md_duty, gap, sw_latency, sw_throughput)| SweepPoint {
+                rate,
+                rr_md_duty,
+                sw_md_duty,
+                gap,
+                sw_latency,
+                sw_throughput,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The returned saturation estimate always lies inside the caller's
+    /// bracket, and the bisection's conclusions match per-rate probes:
+    /// probed rates below the estimate are unsaturated, probed rates above
+    /// are saturated.
+    #[test]
+    fn saturation_rate_stays_bracketed_and_consistent(
+        lo in 0.05f64..0.25,
+        hi in 0.85f64..1.15,
+        tol in 0.08f64..0.2,
+        seed in 0u64..1000,
+    ) {
+        let (cores, vcs, cycles) = (4, 2, 1_500);
+        let sat = saturation_rate_jobs(cores, vcs, lo, hi, tol, cycles, seed, 2);
+        prop_assert!((lo..=hi).contains(&sat), "estimate {sat} escaped [{lo}, {hi}]");
+        // The endpoints are always probed; their outcomes bound the result.
+        if sat > lo {
+            prop_assert!(
+                !probe_saturated(cores, vcs, lo, cycles, seed),
+                "estimate above lo although lo probed saturated"
+            );
+        }
+        if sat < hi {
+            prop_assert!(
+                probe_saturated(cores, vcs, hi, cycles, seed),
+                "estimate below hi although hi probed unsaturated"
+            );
+        }
+        // The first midpoint is probed whenever bisection ran at all; the
+        // walk moves towards it according to that probe's outcome.
+        let mid = (lo + hi) / 2.0;
+        if sat > lo && sat < hi && sat != mid {
+            prop_assert_eq!(
+                sat > mid,
+                !probe_saturated(cores, vcs, mid, cycles, seed),
+                "estimate on the wrong side of the first probed midpoint"
+            );
+        }
+    }
+
+    /// `gap_peak` returns a member of the input with the maximal gap, for
+    /// arbitrary finite point sets.
+    #[test]
+    fn gap_peak_returns_the_maximal_member(points in proptest::collection::vec(finite_point(), 0..20)) {
+        match gap_peak(&points) {
+            None => prop_assert!(points.is_empty()),
+            Some(peak) => {
+                prop_assert!(points.iter().all(|p| p.gap <= peak.gap));
+                prop_assert!(
+                    points.iter().any(|p| p.gap.to_bits() == peak.gap.to_bits()
+                        && p.rate.to_bits() == peak.rate.to_bits()),
+                    "peak is not a member of the input"
+                );
+            }
+        }
+    }
+}
