@@ -29,6 +29,14 @@
 //! assert!(report.total_overhead_percent < 5.0);
 //! ```
 
+#![deny(missing_debug_implementations)]
+#![warn(
+    clippy::semicolon_if_nothing_returned,
+    clippy::explicit_iter_loop,
+    clippy::redundant_closure_for_method_calls,
+    clippy::manual_let_else
+)]
+
 pub mod power;
 
 use std::fmt;

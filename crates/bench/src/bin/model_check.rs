@@ -1,0 +1,40 @@
+//! Model-checks the sensor-wise protocol: every gating policy × small
+//! meshes × traffic patterns × injection rates, each run with
+//! `InvariantLevel::Full` so every cycle asserts gating safety, VC-state
+//! consistency, flit/credit conservation, the idle-on budget, and duty
+//! closure.
+//!
+//! Exits nonzero if any case reports a violation — `scripts/ci.sh` runs
+//! this as a gate.
+
+use nbti_noc_bench::RunOptions;
+use sensorwise::modelcheck::{default_cases, model_check};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let opts = RunOptions::from_env();
+    let cases = default_cases();
+    // The default 20k/200k table budget is overkill for 2×2 and 3×3
+    // meshes; cap the per-case budget so the full matrix stays CI-sized
+    // unless the caller explicitly asks for longer runs.
+    let warmup = opts.warmup.min(2_000);
+    let measure = opts.measure.min(10_000);
+    eprintln!(
+        "[model_check] {} cases, warmup={warmup} measure={measure} jobs={}",
+        cases.len(),
+        opts.jobs
+    );
+    let report = model_check(&cases, warmup, measure, opts.jobs);
+    print!("{}", report.render());
+    if report.ok() {
+        println!("model check passed: {} cases, 0 violations", cases.len());
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "model check FAILED: {} violation(s) across {} case(s)",
+            report.total_violations(),
+            report.failures().count()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -13,6 +13,14 @@
 //! Defaults are sized so the full table regenerates in minutes on a laptop;
 //! pass the paper's `--measure 30000000` for the full-length runs.
 
+#![deny(missing_debug_implementations)]
+#![warn(
+    clippy::semicolon_if_nothing_returned,
+    clippy::explicit_iter_loop,
+    clippy::redundant_closure_for_method_calls,
+    clippy::manual_let_else
+)]
+
 use std::fmt;
 
 /// Parsed command-line options.
@@ -114,7 +122,7 @@ mod tests {
     use super::*;
 
     fn parse(args: &[&str]) -> RunOptions {
-        RunOptions::parse(args.iter().map(|s| s.to_string()))
+        RunOptions::parse(args.iter().map(std::string::ToString::to_string))
     }
 
     #[test]

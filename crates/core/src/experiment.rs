@@ -22,12 +22,13 @@ use crate::monitor::NbtiMonitor;
 use crate::policy::{GatingPolicy, PolicyKind};
 use nbti_model::{IdealSensor, LongTermModel, NbtiSensor, ProcessVariation, Volt};
 use noc_sim::config::NocConfig;
+use noc_sim::invariants::{InvariantKind, InvariantLevel, InvariantViolation};
 use noc_sim::network::Network;
 use noc_sim::stats::NetStats;
 use noc_sim::types::{Direction, NodeId};
 use noc_sim::view::PortId;
 use noc_traffic::source::{inject_from, TrafficSource};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Configuration of one experiment run.
 #[derive(Debug, Clone)]
@@ -56,6 +57,10 @@ pub struct ExperimentConfig {
     pub md_refresh_period: u64,
     /// The sensor model electing the most degraded VC.
     pub sensor: SensorModel,
+    /// How much runtime invariant checking the run performs (protocol
+    /// properties per cycle plus the policy's idle-on designation budget
+    /// and end-of-run duty closure). `Off` for production sweeps.
+    pub invariants: InvariantLevel,
 }
 
 /// Which NBTI sensor model the monitor uses.
@@ -89,6 +94,7 @@ impl ExperimentConfig {
             model: LongTermModel::calibrated_45nm(),
             md_refresh_period: 64,
             sensor: SensorModel::Ideal,
+            invariants: InvariantLevel::Off,
         }
     }
 
@@ -102,6 +108,12 @@ impl ExperimentConfig {
     /// Overrides the process-variation seed.
     pub fn with_pv_seed(mut self, seed: u64) -> Self {
         self.pv_seed = seed;
+        self
+    }
+
+    /// Overrides the invariant-checking level.
+    pub fn with_invariants(mut self, level: InvariantLevel) -> Self {
+        self.invariants = level;
         self
     }
 }
@@ -139,6 +151,13 @@ pub struct ExperimentResult {
     pub ports: Vec<PortResult>,
     /// Network statistics over the measured window.
     pub net: NetStats,
+    /// Total invariant violations detected over the whole run (protocol
+    /// checks, idle-on budget and duty closure). Always zero when the run's
+    /// [`ExperimentConfig::invariants`] level is `Off`.
+    pub invariant_violations: u64,
+    /// Detailed violation records, capped at
+    /// [`noc_sim::invariants::MAX_RECORDED_VIOLATIONS`].
+    pub violations: Vec<InvariantViolation>,
 }
 
 impl ExperimentResult {
@@ -221,9 +240,16 @@ fn run_loop<S: NbtiSensor>(
         .map(|_| cfg.policy.build(cfg.rr_rotation_period))
         .collect();
     let uses_sensors = cfg.policy.uses_sensors();
+    net.set_invariant_level(cfg.invariants);
+    let budget = if cfg.invariants.is_enabled() {
+        cfg.policy.idle_on_budget()
+    } else {
+        None
+    };
+    let mut warmup_violations = 0u64;
 
     let total = cfg.warmup_cycles + cfg.measure_cycles;
-    let mut flits_at_warmup: HashMap<PortId, u64> = HashMap::new();
+    let mut flits_at_warmup: BTreeMap<PortId, u64> = BTreeMap::new();
     let md_period = cfg.md_refresh_period.max(1);
     let mut md_cache: Vec<usize> = vec![0; port_ids.len()];
     for cycle in 0..total {
@@ -239,6 +265,13 @@ fn run_loop<S: NbtiSensor>(
             let action = policies[i].decide(cycle, &view, md_cache[i]);
             net.apply_gate(pid, action);
         }
+        if let Some(budget) = budget {
+            // The designation property holds exactly at this point: after
+            // every gate decision is applied, before allocation runs.
+            for &pid in &port_ids {
+                net.check_idle_on_budget(pid, budget);
+            }
+        }
         net.finish_cycle();
         for &pid in &port_ids {
             let statuses = net.vc_statuses(pid);
@@ -246,12 +279,40 @@ fn run_loop<S: NbtiSensor>(
         }
         if net.cycle() == cfg.warmup_cycles {
             monitor.reset_duty();
+            // Stats reset zeroes the violation counter; fold the warm-up era
+            // into the whole-run total reported on the result.
+            warmup_violations = net.stats().invariant_violations;
             net.reset_stats();
             for &pid in &port_ids {
                 flits_at_warmup.insert(pid, net.flits_received(pid));
             }
         }
     }
+
+    // Duty closure (paper §III-A): every monitored cycle is either stress
+    // or recovery, so per VC the two must sum to the measured window.
+    let mut violations = net.take_violations();
+    let mut duty_violations = 0u64;
+    if cfg.invariants.is_enabled() {
+        for &pid in &port_ids {
+            for (vc, (stress, recovery)) in monitor.duty_totals(pid).iter().enumerate() {
+                if stress + recovery != cfg.measure_cycles {
+                    duty_violations += 1;
+                    violations.push(InvariantViolation {
+                        cycle: total,
+                        kind: InvariantKind::DutyClosure,
+                        detail: format!(
+                            "port {pid} vc{vc}: {stress} stress + {recovery} recovery cycles \
+                             != {} measured",
+                            cfg.measure_cycles
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    let invariant_violations =
+        warmup_violations + net.stats().invariant_violations + duty_violations;
 
     let ports = port_ids
         .iter()
@@ -269,6 +330,8 @@ fn run_loop<S: NbtiSensor>(
         measured_cycles: cfg.measure_cycles,
         ports,
         net: *net.stats(),
+        invariant_violations,
+        violations,
     }
 }
 

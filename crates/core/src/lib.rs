@@ -37,8 +37,17 @@
 //!     <= port.duty_percent[md]);
 //! ```
 
+#![deny(missing_debug_implementations)]
+#![warn(
+    clippy::semicolon_if_nothing_returned,
+    clippy::explicit_iter_loop,
+    clippy::redundant_closure_for_method_calls,
+    clippy::manual_let_else
+)]
+
 pub mod analysis;
 pub mod experiment;
+pub mod modelcheck;
 pub mod monitor;
 pub mod parallel;
 pub mod policy;
@@ -49,6 +58,7 @@ pub use experiment::{
     run_experiment, ExperimentConfig, ExperimentResult, PortResult, SensorModel, SyntheticScenario,
     LOAD_CALIBRATION,
 };
+pub use modelcheck::{model_check, model_check_default, CheckCase, CheckOutcome, ModelCheckReport};
 pub use monitor::NbtiMonitor;
 pub use parallel::{
     default_jobs, parallel_map, run_batch, validate_jobs, ExperimentJob, TrafficSpec,

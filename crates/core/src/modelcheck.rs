@@ -1,0 +1,254 @@
+//! Exhaustive small-configuration model checking of the sensor-wise
+//! protocol.
+//!
+//! The runtime invariant checker ([`noc_sim::invariants`]) turns every
+//! simulated cycle into a property test; this module supplies the state
+//! space. It enumerates every gating policy over the paper's smallest
+//! meshes (2×2 and 3×3), a spread of destination patterns, and both a
+//! light and a saturating injection rate, then runs each combination with
+//! [`InvariantLevel::Full`] and reports any violation with its cycle and
+//! diagnostic detail.
+//!
+//! The matrix is deliberately small enough to run inside `cargo test` and
+//! CI (`scripts/ci.sh`), yet covers every branch of the `Down_Up` /
+//! `Up_Down` protocol: single-VC-kept gating (Algorithms 1 and 2),
+//! k-of-n gating (`SensorWiseK`), the traffic-oblivious variant, and the
+//! ungated baseline.
+
+use crate::experiment::ExperimentConfig;
+use crate::parallel::{run_batch, ExperimentJob, TrafficSpec};
+use crate::policy::PolicyKind;
+use noc_sim::config::NocConfig;
+use noc_sim::invariants::{InvariantLevel, InvariantViolation};
+use noc_traffic::DestinationPattern;
+use std::fmt;
+
+/// The policies the model checker exercises: every member of
+/// [`PolicyKind::ALL`] plus a k-of-n variant, so the idle-on-budget
+/// invariant is checked for a budget other than one.
+pub fn checked_policies() -> Vec<PolicyKind> {
+    let mut policies = PolicyKind::ALL.to_vec();
+    policies.push(PolicyKind::SensorWiseK(2));
+    policies
+}
+
+/// One cell of the model-check matrix.
+#[derive(Debug, Clone)]
+pub struct CheckCase {
+    /// The gating policy under test.
+    pub policy: PolicyKind,
+    /// Mesh size in cores (4 = 2×2, 9 = 3×3).
+    pub cores: usize,
+    /// Virtual channels per port.
+    pub vcs: usize,
+    /// Destination pattern driving the traffic.
+    pub pattern: DestinationPattern,
+    /// Raw injection rate in flits/cycle/node.
+    pub rate: f64,
+}
+
+impl fmt::Display for CheckCase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} | {} cores x {} VCs | {} @ {:.2}",
+            self.policy,
+            self.cores,
+            self.vcs,
+            self.pattern.name(),
+            self.rate
+        )
+    }
+}
+
+/// The outcome of one model-checked case.
+#[derive(Debug, Clone)]
+pub struct CheckOutcome {
+    /// The case that produced this outcome.
+    pub case: CheckCase,
+    /// Total invariant violations (including any beyond the record cap).
+    pub violations: u64,
+    /// Recorded violation details (capped; see
+    /// [`noc_sim::invariants::MAX_RECORDED_VIOLATIONS`]).
+    pub details: Vec<InvariantViolation>,
+    /// Packets received during the measured window, as a liveness
+    /// sanity signal — a case that moves no traffic checks nothing.
+    pub packets_received: u64,
+}
+
+/// A full model-check report.
+#[derive(Debug, Clone)]
+pub struct ModelCheckReport {
+    /// Per-case outcomes, in matrix order.
+    pub outcomes: Vec<CheckOutcome>,
+}
+
+impl ModelCheckReport {
+    /// True when no case reported any invariant violation.
+    pub fn ok(&self) -> bool {
+        self.outcomes.iter().all(|o| o.violations == 0)
+    }
+
+    /// Total violations across the whole matrix.
+    pub fn total_violations(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.violations).sum()
+    }
+
+    /// The outcomes that reported at least one violation.
+    pub fn failures(&self) -> impl Iterator<Item = &CheckOutcome> {
+        self.outcomes.iter().filter(|o| o.violations > 0)
+    }
+
+    /// Renders a human-readable summary (one line per case, then detail
+    /// lines for every failure).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for o in &self.outcomes {
+            let status = if o.violations == 0 { "ok" } else { "FAIL" };
+            out.push_str(&format!(
+                "{status:>4}  {}  ({} packets, {} violation(s))\n",
+                o.case, o.packets_received, o.violations
+            ));
+        }
+        for o in self.failures() {
+            out.push_str(&format!("\nviolations for {}:\n", o.case));
+            for v in &o.details {
+                out.push_str(&format!("  {v}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// The default matrix: every checked policy × {2×2/2VC, 3×3/2VC} ×
+/// {uniform, transpose, tornado} × {light, saturating} injection.
+pub fn default_cases() -> Vec<CheckCase> {
+    let meshes = [(4usize, 2usize), (9, 2)];
+    let patterns = [
+        DestinationPattern::UniformRandom,
+        DestinationPattern::Transpose,
+        DestinationPattern::Tornado,
+    ];
+    let rates = [0.15f64, 0.60];
+    let mut cases = Vec::new();
+    for policy in checked_policies() {
+        for &(cores, vcs) in &meshes {
+            for pattern in &patterns {
+                for &rate in &rates {
+                    cases.push(CheckCase {
+                        policy,
+                        cores,
+                        vcs,
+                        pattern: pattern.clone(),
+                        rate,
+                    });
+                }
+            }
+        }
+    }
+    cases
+}
+
+/// Runs the model checker over `cases`, with `warmup`/`measure` cycles
+/// per case, fanned out across `jobs` worker threads.
+///
+/// Every case runs with [`InvariantLevel::Full`], so gating safety,
+/// VC-state consistency, flit/credit conservation, the idle-on budget,
+/// and duty closure are all asserted on every cycle of every case.
+///
+/// # Panics
+///
+/// Panics if `jobs == 0` or a case's configuration is invalid.
+pub fn model_check(
+    cases: &[CheckCase],
+    warmup: u64,
+    measure: u64,
+    jobs: usize,
+) -> ModelCheckReport {
+    let batch: Vec<ExperimentJob> = cases
+        .iter()
+        .map(|c| {
+            // Seed each case from its matrix coordinates so the run is
+            // reproducible yet cases stay decorrelated.
+            let seed = 0x5EED_0000
+                ^ ((c.cores as u64) << 24)
+                ^ ((c.rate * 100.0) as u64) << 16
+                ^ (c.pattern.name().len() as u64) << 8;
+            ExperimentJob {
+                cfg: ExperimentConfig::new(
+                    NocConfig::paper_synthetic(c.cores, c.vcs),
+                    c.policy,
+                )
+                .with_cycles(warmup, measure)
+                .with_pv_seed(seed)
+                .with_invariants(InvariantLevel::Full),
+                traffic: TrafficSpec::Pattern {
+                    pattern: c.pattern.clone(),
+                    rate: c.rate,
+                    seed: seed.wrapping_add(1),
+                },
+            }
+        })
+        .collect();
+    let results = run_batch(&batch, jobs);
+    let outcomes = cases
+        .iter()
+        .zip(results)
+        .map(|(case, res)| CheckOutcome {
+            case: case.clone(),
+            violations: res.invariant_violations,
+            details: res.violations,
+            packets_received: res.net.packets_ejected,
+        })
+        .collect();
+    ModelCheckReport { outcomes }
+}
+
+/// Runs the default matrix with CI-sized cycle budgets.
+pub fn model_check_default(jobs: usize) -> ModelCheckReport {
+    model_check(&default_cases(), 300, 1_500, jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_covers_every_policy_and_both_meshes() {
+        let cases = default_cases();
+        assert_eq!(cases.len(), 5 * 2 * 3 * 2);
+        for policy in checked_policies() {
+            assert!(cases.iter().any(|c| c.policy == policy));
+        }
+        assert!(cases.iter().any(|c| c.cores == 4));
+        assert!(cases.iter().any(|c| c.cores == 9));
+    }
+
+    #[test]
+    fn small_matrix_holds_every_invariant() {
+        // A reduced matrix keeps the test fast; CI runs the full one via
+        // the `model_check` bench binary.
+        let cases: Vec<CheckCase> = default_cases()
+            .into_iter()
+            .filter(|c| c.cores == 4 && c.rate > 0.5)
+            .collect();
+        assert!(!cases.is_empty());
+        let report = model_check(&cases, 200, 800, 2);
+        assert!(
+            report.ok(),
+            "invariant violations found:\n{}",
+            report.render()
+        );
+        // Liveness: the checked runs actually moved traffic.
+        assert!(report.outcomes.iter().all(|o| o.packets_received > 0));
+    }
+
+    #[test]
+    fn report_renders_one_line_per_case() {
+        let cases: Vec<CheckCase> = default_cases().into_iter().take(2).collect();
+        let report = model_check(&cases, 50, 200, 1);
+        let text = report.render();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("ok"));
+    }
+}

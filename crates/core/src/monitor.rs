@@ -13,13 +13,13 @@ use nbti_model::{
     StressState, Volt,
 };
 use noc_sim::view::{PortId, VcStatus};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Per-port NBTI bookkeeping for a whole network.
 #[derive(Debug, Clone)]
 pub struct NbtiMonitor<S> {
     ports: Vec<(PortId, PortAgeTracker<S>)>,
-    index: HashMap<PortId, usize>,
+    index: BTreeMap<PortId, usize>,
 }
 
 impl NbtiMonitor<IdealSensor> {
@@ -73,7 +73,7 @@ impl<S: NbtiSensor> NbtiMonitor<S> {
     {
         assert!(num_vcs > 0, "at least one VC per port");
         let mut ports = Vec::with_capacity(port_ids.len());
-        let mut index = HashMap::with_capacity(port_ids.len());
+        let mut index = BTreeMap::new();
         for (i, &pid) in port_ids.iter().enumerate() {
             let vths = pv.sample_port(num_vcs);
             let sensors = (0..num_vcs).map(|v| make_sensor(i, v)).collect();
@@ -140,7 +140,17 @@ impl<S: NbtiSensor> NbtiMonitor<S> {
     pub fn initial_vths(&self, port: PortId) -> Vec<Volt> {
         self.tracker(port)
             .buffers()
-            .map(|b| b.initial_vth())
+            .map(nbti_model::BufferAgeTracker::initial_vth)
+            .collect()
+    }
+
+    /// Per-VC `(stress, recovery)` cycle totals for `port` since the last
+    /// duty reset — the inputs of the duty-closure invariant
+    /// (stress + recovery must equal the monitored cycle count).
+    pub fn duty_totals(&self, port: PortId) -> Vec<(u64, u64)> {
+        self.tracker(port)
+            .buffers()
+            .map(|b| (b.duty().stress_cycles(), b.duty().recovery_cycles()))
             .collect()
     }
 

@@ -84,6 +84,22 @@ impl PolicyKind {
         }
     }
 
+    /// The designation budget the policy guarantees right after its gate
+    /// decision is applied: the maximum number of idle-on (powered but
+    /// unallocated) VCs it leaves on a port. `None` for the baseline, which
+    /// never gates and so bounds nothing. This is the property the runtime
+    /// invariant checker enforces per cycle (Algorithm 2 keeps exactly one
+    /// idle VC; the `k`-designation extension keeps `k`).
+    pub fn idle_on_budget(self) -> Option<usize> {
+        match self {
+            PolicyKind::Baseline => None,
+            PolicyKind::RrNoSensor
+            | PolicyKind::SensorWiseNoTraffic
+            | PolicyKind::SensorWise => Some(1),
+            PolicyKind::SensorWiseK(k) => Some(k as usize),
+        }
+    }
+
     /// Whether the policy consumes NBTI sensor readings.
     pub fn uses_sensors(self) -> bool {
         matches!(

@@ -205,7 +205,7 @@ pub fn saturation_rate_jobs(
         let mut points = Vec::with_capacity((1 << depth) - 1);
         collect_midpoint_tree(lo, hi, depth, &mut points);
         let outcomes = parallel_map(&points, jobs, |_, &rate| saturated(rate));
-        let cached: std::collections::HashMap<u64, bool> = points
+        let cached: std::collections::BTreeMap<u64, bool> = points
             .iter()
             .map(|p| p.to_bits())
             .zip(outcomes)

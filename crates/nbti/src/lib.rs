@@ -35,6 +35,14 @@
 //! assert!(dv.as_volts() > 0.0 && dv.as_volts() < 0.2);
 //! ```
 
+#![deny(missing_debug_implementations)]
+#![warn(
+    clippy::semicolon_if_nothing_returned,
+    clippy::explicit_iter_loop,
+    clippy::redundant_closure_for_method_calls,
+    clippy::manual_let_else
+)]
+
 pub mod delay;
 pub mod duty;
 mod gauss;

@@ -173,8 +173,11 @@ impl NbtiSensor for QuantizedSensor {
             let reading = Volt::from_volts(self.quantize(noisy));
             self.last = Some(reading);
             self.last_cycle = Some(cycle);
+            return reading;
         }
-        self.last.expect("a reading exists after first sample")
+        // The first call is always due, so a cached reading exists here;
+        // the fallback is unreachable but keeps the hot path panic-free.
+        self.last.unwrap_or(true_vth)
     }
 
     fn last_reading(&self) -> Option<Volt> {

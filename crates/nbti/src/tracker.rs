@@ -196,6 +196,7 @@ impl<S: NbtiSensor> PortAgeTracker<S> {
             .zip(self.sensors.iter_mut())
             .map(|(buf, sensor)| sensor.sample(buf.true_vth(), cycle))
             .collect();
+        // lint:allow(no-unwrap) the constructor asserts at least one VC per port
         most_degraded_by_reading(&readings).expect("port has at least one VC")
     }
 
@@ -206,9 +207,10 @@ impl<S: NbtiSensor> PortAgeTracker<S> {
             &self
                 .buffers
                 .iter()
-                .map(|b| b.initial_vth())
+                .map(BufferAgeTracker::initial_vth)
                 .collect::<Vec<_>>(),
         )
+        // lint:allow(no-unwrap) the constructor asserts at least one VC per port
         .expect("port has at least one VC")
     }
 

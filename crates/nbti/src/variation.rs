@@ -102,7 +102,7 @@ impl ProcessVariation {
     pub fn most_degraded(vths: &[Volt]) -> Option<usize> {
         vths.iter()
             .enumerate()
-            .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("Vth samples are finite"))
+            .max_by(|(_, a), (_, b)| a.as_volts().total_cmp(&b.as_volts()))
             .map(|(i, _)| i)
     }
 }

@@ -30,9 +30,18 @@
 //! # Ok::<(), noc_sim::config::InvalidConfigError>(())
 //! ```
 
+#![deny(missing_debug_implementations)]
+#![warn(
+    clippy::semicolon_if_nothing_returned,
+    clippy::explicit_iter_loop,
+    clippy::redundant_closure_for_method_calls,
+    clippy::manual_let_else
+)]
+
 pub mod arbiter;
 pub mod config;
 pub mod flit;
+pub mod invariants;
 pub mod network;
 mod nic;
 mod router;
@@ -44,6 +53,7 @@ mod unit;
 pub mod view;
 
 pub use config::NocConfig;
+pub use invariants::{InvariantKind, InvariantLevel, InvariantViolation};
 pub use network::Network;
 pub use routing::RoutingAlgorithm;
 pub use stats::NetStats;
@@ -55,6 +65,7 @@ pub use view::{GateAction, PortId, PortKind, PortView, VcStatus};
 pub mod prelude {
     pub use crate::config::NocConfig;
     pub use crate::flit::{Flit, FlitKind, PacketId};
+    pub use crate::invariants::{InvariantKind, InvariantLevel, InvariantViolation};
     pub use crate::network::Network;
     pub use crate::routing::RoutingAlgorithm;
     pub use crate::stats::NetStats;

@@ -18,6 +18,9 @@
 
 use crate::config::{InvalidConfigError, NocConfig};
 use crate::flit::PacketId;
+use crate::invariants::{
+    InvariantKind, InvariantLevel, InvariantViolation, MAX_RECORDED_VIOLATIONS,
+};
 use crate::nic::{Nic, PendingPacket};
 use crate::router::{Router, SaWinner, NUM_PORTS};
 use crate::stats::NetStats;
@@ -72,6 +75,13 @@ pub struct Network {
     stats: NetStats,
     next_packet: u64,
     port_ids: Vec<PortId>,
+    invariants: InvariantLevel,
+    violations: Vec<InvariantViolation>,
+    /// Lifetime flit counters for the conservation invariant; unlike the
+    /// [`NetStats`] counters these survive [`Network::reset_stats`], so the
+    /// conservation equation stays exact across the warm-up boundary.
+    flits_sent_total: u64,
+    flits_ejected_total: u64,
 }
 
 impl Network {
@@ -117,6 +127,10 @@ impl Network {
             stats: NetStats::default(),
             next_packet: 0,
             port_ids,
+            invariants: InvariantLevel::Off,
+            violations: Vec::new(),
+            flits_sent_total: 0,
+            flits_ejected_total: 0,
         })
     }
 
@@ -384,11 +398,13 @@ impl Network {
             for p_idx in 0..NUM_PORTS {
                 loop {
                     let unit = &mut self.routers[r_idx].inputs[p_idx];
-                    match unit.arrivals.front() {
-                        Some(&(when, _)) if when <= now => {}
-                        _ => break,
+                    let due = unit.arrivals.front().is_some_and(|&(when, _)| when <= now);
+                    if !due {
+                        break;
                     }
-                    let (_, flit) = unit.arrivals.pop_front().expect("front checked");
+                    let Some((_, flit)) = unit.arrivals.pop_front() else {
+                        break;
+                    };
                     let is_head = flit.is_head();
                     let (dst, vc_idx) = (flit.dst, flit.vc);
                     unit.write_flit(flit, now, depth);
@@ -403,11 +419,17 @@ impl Network {
         // Flit deliveries into NIC ejection buffers.
         for nic in &mut self.nics {
             loop {
-                match nic.eject.arrivals.front() {
-                    Some(&(when, _)) if when <= now => {}
-                    _ => break,
+                let due = nic
+                    .eject
+                    .arrivals
+                    .front()
+                    .is_some_and(|&(when, _)| when <= now);
+                if !due {
+                    break;
                 }
-                let (_, flit) = nic.eject.arrivals.pop_front().expect("front checked");
+                let Some((_, flit)) = nic.eject.arrivals.pop_front() else {
+                    break;
+                };
                 let is_head = flit.is_head();
                 let vc_idx = flit.vc;
                 nic.eject.write_flit(flit, now, depth);
@@ -432,18 +454,20 @@ impl Network {
         match dirs.len() {
             0 => Direction::Local,
             1 => dirs[0],
-            _ => dirs
-                .into_iter()
-                .max_by_key(|d| {
-                    // Prefer the output port with the most downstream
-                    // credits — the standard local-congestion heuristic.
-                    self.routers[r_idx].outputs[d.index()]
-                        .vcs
-                        .iter()
-                        .map(|v| v.credits)
-                        .sum::<usize>()
-                })
-                .expect("non-empty direction set"),
+            _ => {
+                let first = dirs[0];
+                dirs.into_iter()
+                    .max_by_key(|d| {
+                        // Prefer the output port with the most downstream
+                        // credits — the standard local-congestion heuristic.
+                        self.routers[r_idx].outputs[d.index()]
+                            .vcs
+                            .iter()
+                            .map(|v| v.credits)
+                            .sum::<usize>()
+                    })
+                    .unwrap_or(first)
+            }
         }
     }
 
@@ -470,6 +494,7 @@ impl Network {
         for n_idx in 0..self.nics.len() {
             if let Some(flit) = self.nics[n_idx].process_inject(now) {
                 self.stats.flits_sent += 1;
+                self.flits_sent_total += 1;
                 let arrive = now + self.cfg.link_latency;
                 self.routers[n_idx].inputs[Direction::Local.index()]
                     .arrivals
@@ -483,6 +508,7 @@ impl Network {
                     .push_back((when, c));
             }
             self.stats.flits_ejected += drained as u64;
+            self.flits_ejected_total += drained as u64;
             for pkt in done {
                 self.stats.packets_ejected += 1;
                 self.stats.record_latency(now - pkt.injected_at);
@@ -490,6 +516,9 @@ impl Network {
         }
         self.cycle += 1;
         self.phase = Phase::Idle;
+        if self.invariants.is_enabled() {
+            self.check_invariants_now();
+        }
     }
 
     /// One full cycle with no gating changes (the NBTI-unaware baseline
@@ -510,6 +539,7 @@ impl Network {
     fn traverse(&mut self, r_idx: usize, w: SaWinner, now: u64) {
         let flit = {
             let ivc = &mut self.routers[r_idx].inputs[w.in_port].vcs[w.vc];
+            // lint:allow(no-unwrap) SA only nominates VCs with a ready buffered flit
             let flit = ivc.buffer.pop_front().expect("SA winner has a flit");
             if flit.is_tail() {
                 debug_assert!(ivc.buffer.is_empty(), "tail is the last flit of its VC");
@@ -537,6 +567,7 @@ impl Network {
                 let up = self
                     .mesh
                     .neighbor(NodeId(r_idx), d)
+                    // lint:allow(no-unwrap) flits only arrive through ports with a neighbour
                     .expect("traffic only arrives through connected ports");
                 self.routers[up.index()].outputs[d.opposite().index()]
                     .credit_arrivals
@@ -555,6 +586,7 @@ impl Network {
                 let down = self
                     .mesh
                     .neighbor(NodeId(r_idx), d)
+                    // lint:allow(no-unwrap) dimension-ordered routing stays inside the mesh
                     .expect("routing never leaves the mesh");
                 self.routers[down.index()].inputs[d.opposite().index()]
                     .arrivals
@@ -609,6 +641,193 @@ impl Network {
             Downstream::RouterIn { node, port } => self.routers[node].inputs[port].flits_received,
             Downstream::NicEject { node } => self.nics[node].eject.flits_received,
         }
+    }
+
+    /// Selects how much invariant checking runs at the end of every cycle.
+    pub fn set_invariant_level(&mut self, level: InvariantLevel) {
+        self.invariants = level;
+    }
+
+    /// The configured invariant level.
+    pub fn invariant_level(&self) -> InvariantLevel {
+        self.invariants
+    }
+
+    /// Violations recorded so far (capped at
+    /// [`MAX_RECORDED_VIOLATIONS`]; the uncapped count lives in
+    /// [`NetStats::invariant_violations`]).
+    pub fn violations(&self) -> &[InvariantViolation] {
+        &self.violations
+    }
+
+    /// Drains the recorded violations, leaving the buffer empty.
+    pub fn take_violations(&mut self) -> Vec<InvariantViolation> {
+        std::mem::take(&mut self.violations)
+    }
+
+    /// Runs one invariant check pass at the configured level immediately
+    /// (called automatically at the end of every cycle when the level is
+    /// not `Off`; exposed so tests can probe a hand-corrupted state).
+    pub fn check_invariants_now(&mut self) {
+        let cycle = self.cycle;
+        let full = self.invariants == InvariantLevel::Full;
+        self.stats.invariant_checks += 1;
+        let mut found = Vec::new();
+        let in_network = self.flits_in_network() as u64;
+        if self.flits_sent_total != self.flits_ejected_total + in_network {
+            found.push(InvariantViolation {
+                cycle,
+                kind: InvariantKind::FlitConservation,
+                detail: format!(
+                    "{} flits entered the network but {} delivered + {} in flight",
+                    self.flits_sent_total, self.flits_ejected_total, in_network
+                ),
+            });
+        }
+        for (node, router) in self.routers.iter().enumerate() {
+            router.collect_violations(NodeId(node), cycle, full, &mut found);
+        }
+        for nic in &self.nics {
+            nic.collect_violations(cycle, full, &mut found);
+        }
+        if full {
+            self.check_credit_conservation(cycle, &mut found);
+        }
+        self.absorb_violations(found);
+    }
+
+    /// The policy-level designation invariant: at most `budget` idle-on
+    /// VCs on `port` (Algorithm 2 keeps exactly one; the `k`-designation
+    /// extension keeps `k`). Driven by the experiment harness, which knows
+    /// the policy's budget; records an [`InvariantKind::IdleOnBudget`]
+    /// violation when exceeded. No-op when checking is off.
+    pub fn check_idle_on_budget(&mut self, port: PortId, budget: usize) {
+        if !self.invariants.is_enabled() {
+            return;
+        }
+        let idle_on = self
+            .vc_statuses(port)
+            .iter()
+            .filter(|&&s| s == VcStatus::IdleOn)
+            .count();
+        if idle_on > budget {
+            let cycle = self.cycle;
+            self.absorb_violations(vec![InvariantViolation {
+                cycle,
+                kind: InvariantKind::IdleOnBudget,
+                detail: format!("port {port}: {idle_on} idle-on VCs exceed the budget of {budget}"),
+            }]);
+        }
+    }
+
+    /// Per-channel credit conservation: for every upstream/downstream VC
+    /// pair, credits held upstream + credits in flight + flits buffered
+    /// downstream + flits in flight on the link must equal the buffer
+    /// depth.
+    fn check_credit_conservation(&self, cycle: u64, out: &mut Vec<InvariantViolation>) {
+        let depth = self.cfg.buffer_depth;
+        for &pid in &self.port_ids {
+            let (up, down) = self.resolve(pid);
+            let (out_vcs, credit_q) = match up {
+                Upstream::RouterOut { node, port } => {
+                    let unit = &self.routers[node].outputs[port];
+                    (&unit.vcs, &unit.credit_arrivals)
+                }
+                Upstream::NicInject { node } => {
+                    let unit = &self.nics[node].inject;
+                    (&unit.vcs, &unit.credit_arrivals)
+                }
+            };
+            let down_unit = match down {
+                Downstream::RouterIn { node, port } => &self.routers[node].inputs[port],
+                Downstream::NicEject { node } => &self.nics[node].eject,
+            };
+            for (v, ov) in out_vcs.iter().enumerate() {
+                let credits_in_flight = credit_q.iter().filter(|(_, c)| c.vc == v).count();
+                let buffered = down_unit.vcs[v].buffer.len();
+                let flits_in_flight = down_unit
+                    .arrivals
+                    .iter()
+                    .filter(|(_, f)| f.vc == v)
+                    .count();
+                let sum = ov.credits + credits_in_flight + buffered + flits_in_flight;
+                if sum != depth {
+                    out.push(InvariantViolation {
+                        cycle,
+                        kind: InvariantKind::CreditConservation,
+                        detail: format!(
+                            "channel {pid} vc{v}: {} credit(s) held + {credits_in_flight} in \
+                             flight + {buffered} buffered + {flits_in_flight} flit(s) on the \
+                             link != depth {depth}",
+                            ov.credits
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Counts every violation into the stats and keeps detailed records up
+    /// to the cap.
+    fn absorb_violations(&mut self, found: Vec<InvariantViolation>) {
+        for v in found {
+            self.stats.invariant_violations += 1;
+            if self.violations.len() < MAX_RECORDED_VIOLATIONS {
+                self.violations.push(v);
+            }
+        }
+    }
+}
+
+/// Fault-injection hooks for invariant-checker tests.
+///
+/// These deliberately corrupt protocol state so the checker's diagnostics
+/// can be exercised; they must never be called outside tests.
+#[doc(hidden)]
+impl Network {
+    /// Power-gates the first VC (in deterministic scan order) that holds
+    /// at least one flit, violating gating safety. Returns the corrupted
+    /// location as `(node, input port index, vc)`, or `None` when no VC
+    /// holds a flit.
+    pub fn fault_gate_occupied_vc(&mut self) -> Option<(NodeId, usize, usize)> {
+        for (node, router) in self.routers.iter_mut().enumerate() {
+            for (p, unit) in router.inputs.iter_mut().enumerate() {
+                for (v, vc) in unit.vcs.iter_mut().enumerate() {
+                    if !vc.buffer.is_empty() && vc.powered {
+                        vc.powered = false;
+                        return Some((NodeId(node), p, v));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Grants one spurious credit to the upstream agent of `port` for
+    /// `vc`, violating per-channel credit conservation.
+    pub fn fault_double_credit(&mut self, port: PortId, vc: usize) {
+        let (up, _) = self.resolve(port);
+        let out_vcs = match up {
+            Upstream::RouterOut { node, port } => &mut self.routers[node].outputs[port].vcs,
+            Upstream::NicInject { node } => &mut self.nics[node].inject.vcs,
+        };
+        out_vcs[vc].credits += 1;
+    }
+
+    /// Silently discards the first buffered flit (in deterministic scan
+    /// order), violating both flit and credit conservation. Returns the
+    /// corrupted location, or `None` when no flit is buffered.
+    pub fn fault_drop_buffered_flit(&mut self) -> Option<(NodeId, usize, usize)> {
+        for (node, router) in self.routers.iter_mut().enumerate() {
+            for (p, unit) in router.inputs.iter_mut().enumerate() {
+                for (v, vc) in unit.vcs.iter_mut().enumerate() {
+                    if vc.buffer.pop_front().is_some() {
+                        return Some((NodeId(node), p, v));
+                    }
+                }
+            }
+        }
+        None
     }
 }
 

@@ -7,6 +7,7 @@
 //! output port and drains one flit per VC per cycle, returning credits.
 
 use crate::flit::{Flit, FlitKind, PacketId};
+use crate::invariants::{InvariantKind, InvariantViolation};
 use crate::types::NodeId;
 use crate::unit::{Credit, InVcState, InputUnit, OutVcState, OutputUnit};
 use std::collections::VecDeque;
@@ -136,7 +137,9 @@ impl Nic {
             if !ready {
                 continue;
             }
-            let flit = vc.buffer.pop_front().expect("front checked");
+            let Some(flit) = vc.buffer.pop_front() else {
+                continue;
+            };
             drained += 1;
             credits.push(Credit {
                 vc: vc_idx,
@@ -153,6 +156,31 @@ impl Nic {
             }
         }
         (credits, done, drained)
+    }
+
+    /// Appends every invariant violation visible from this NIC's local
+    /// state to `out`: gating safety on the ejection buffers always,
+    /// injection-side state consistency when `full`.
+    pub fn collect_violations(&self, cycle: u64, full: bool, out: &mut Vec<InvariantViolation>) {
+        let node = self.node;
+        self.eject
+            .collect_gating_violations(cycle, &format!("nic {node} eject"), out);
+        if !full {
+            return;
+        }
+        if let Some(tx) = self.current {
+            let ovc = &self.inject.vcs[tx.out_vc];
+            if ovc.state != OutVcState::Active {
+                out.push(InvariantViolation {
+                    cycle,
+                    kind: InvariantKind::VcStateConsistency,
+                    detail: format!(
+                        "nic {node} is streaming packet {:?} on inject vc{}, which is {:?}",
+                        tx.packet.id, tx.out_vc, ovc.state
+                    ),
+                });
+            }
+        }
     }
 }
 

@@ -15,7 +15,8 @@
 //! the VA/SA logic.
 
 use crate::arbiter::RoundRobinArbiter;
-use crate::types::Direction;
+use crate::invariants::{InvariantKind, InvariantViolation};
+use crate::types::{Direction, NodeId};
 use crate::unit::{InVcState, InputUnit, OutVcState, OutputUnit};
 
 /// Number of ports (N, S, E, W, Local).
@@ -158,20 +159,56 @@ impl Router {
                 .sa_arb
                 .grant(|p| matches!(nominees_ref[p], Some(w) if w.out_port == out_idx));
             if let Some(p) = got {
-                winners.push(nominees[p].expect("granted nominee exists"));
+                // The grant closure only admits ports whose nominee is Some.
+                winners.extend(nominees[p]);
             }
         }
         winners
     }
 
+    /// Appends every invariant violation visible from this router's local
+    /// state to `out`: gating safety always, VC state-machine consistency
+    /// when `full`.
+    pub fn collect_violations(
+        &self,
+        node: NodeId,
+        cycle: u64,
+        full: bool,
+        out: &mut Vec<InvariantViolation>,
+    ) {
+        for (p, unit) in self.inputs.iter().enumerate() {
+            let dir = Direction::from_index(p);
+            unit.collect_gating_violations(cycle, &format!("router {node} in-{dir}"), out);
+            if !full {
+                continue;
+            }
+            for (v, vc) in unit.vcs.iter().enumerate() {
+                if let InVcState::Active { outport, out_vc } = vc.state {
+                    let ovc = &self.outputs[outport.index()].vcs[out_vc];
+                    if ovc.state != OutVcState::Active {
+                        out.push(InvariantViolation {
+                            cycle,
+                            kind: InvariantKind::VcStateConsistency,
+                            detail: format!(
+                                "router {node} in-{dir} vc{v} is active on out-{outport} \
+                                 vc{out_vc}, which is {:?}",
+                                ovc.state
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
     /// Total flits buffered across all input units.
     pub fn buffered_flits(&self) -> usize {
-        self.inputs.iter().map(|u| u.buffered_flits()).sum()
+        self.inputs.iter().map(super::unit::InputUnit::buffered_flits).sum()
     }
 
     /// Total flits in flight on incoming links.
     pub fn in_flight_flits(&self) -> usize {
-        self.inputs.iter().map(|u| u.in_flight_flits()).sum()
+        self.inputs.iter().map(super::unit::InputUnit::in_flight_flits).sum()
     }
 }
 

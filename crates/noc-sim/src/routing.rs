@@ -118,6 +118,7 @@ impl RoutingAlgorithm {
             let dir = self.route(mesh, cur, dest);
             cur = mesh
                 .neighbor(cur, dir)
+                // lint:allow(no-unwrap) route() only returns in-mesh directions
                 .expect("dimension-ordered routing never leaves the mesh");
             path.push(cur);
         }

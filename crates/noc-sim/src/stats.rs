@@ -24,6 +24,13 @@ pub struct NetStats {
     /// Logarithmic latency histogram: bucket `i` counts packets with
     /// latency in `[2^i, 2^(i+1))` cycles (bucket 0 covers 0 and 1).
     pub latency_histogram: [u64; LATENCY_BUCKETS],
+    /// End-of-cycle invariant check passes performed (see
+    /// [`crate::invariants::InvariantLevel`]).
+    pub invariant_checks: u64,
+    /// Total invariant violations detected. Unlike the detailed records
+    /// kept by [`crate::network::Network::violations`], this counter is
+    /// never capped.
+    pub invariant_violations: u64,
 }
 
 impl NetStats {

@@ -7,6 +7,7 @@
 
 use crate::arbiter::RoundRobinArbiter;
 use crate::flit::Flit;
+use crate::invariants::{InvariantKind, InvariantViolation};
 use crate::types::Direction;
 use std::collections::VecDeque;
 
@@ -126,6 +127,44 @@ impl InputUnit {
         self.flits_received += 1;
         let idx = flit.vc;
         &mut self.vcs[idx]
+    }
+
+    /// Appends a gating-safety violation to `out` for every power-gated VC
+    /// that still holds flits or an allocation. `location` names the unit
+    /// in diagnostics (e.g. `router 3 in-E`). Unconnected boundary ports
+    /// are permanently gated *and* permanently idle, so they never trip
+    /// this check.
+    pub fn collect_gating_violations(
+        &self,
+        cycle: u64,
+        location: &str,
+        out: &mut Vec<InvariantViolation>,
+    ) {
+        for (v, vc) in self.vcs.iter().enumerate() {
+            if vc.powered {
+                continue;
+            }
+            if !vc.buffer.is_empty() {
+                out.push(InvariantViolation {
+                    cycle,
+                    kind: InvariantKind::GatingSafety,
+                    detail: format!(
+                        "{location} vc{v} is power-gated but holds {} flit(s)",
+                        vc.buffer.len()
+                    ),
+                });
+            }
+            if vc.state != InVcState::Idle {
+                out.push(InvariantViolation {
+                    cycle,
+                    kind: InvariantKind::GatingSafety,
+                    detail: format!(
+                        "{location} vc{v} is power-gated but in state {:?}",
+                        vc.state
+                    ),
+                });
+            }
+        }
     }
 
     /// Count of buffered flits across all VCs.

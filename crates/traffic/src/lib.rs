@@ -31,6 +31,14 @@
 //! # Ok::<(), noc_sim::config::InvalidConfigError>(())
 //! ```
 
+#![deny(missing_debug_implementations)]
+#![warn(
+    clippy::semicolon_if_nothing_returned,
+    clippy::explicit_iter_loop,
+    clippy::redundant_closure_for_method_calls,
+    clippy::manual_let_else
+)]
+
 pub mod app;
 pub mod injection;
 pub mod pattern;

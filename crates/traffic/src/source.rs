@@ -36,7 +36,7 @@ pub trait TrafficSource {
 
 impl<T: TrafficSource + ?Sized> TrafficSource for Box<T> {
     fn emit(&mut self, cycle: u64, out: &mut Vec<PacketSpec>) {
-        (**self).emit(cycle, out)
+        (**self).emit(cycle, out);
     }
 
     fn name(&self) -> String {

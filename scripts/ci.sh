@@ -10,4 +10,24 @@ cargo build --release --offline
 cargo test -q --offline
 cargo clippy --all-targets --offline -- -D warnings
 
+# Determinism lint: the workspace must be clean, and the fixture tree must
+# trip every rule (each exactly once — the lint crate's own tests assert
+# the exact counts; here we gate on the exit codes).
+cargo run -q --offline -p lint -- --json > /dev/null
+if cargo run -q --offline -p lint -- --root tools/lint/fixtures > /dev/null 2>&1; then
+    echo "ci: lint fixtures unexpectedly clean" >&2
+    exit 1
+fi
+fixture_json=$(cargo run -q --offline -p lint -- --json --root tools/lint/fixtures || true)
+for rule in no-unordered-map no-wall-clock no-os-random no-thread-spawn no-unwrap; do
+    echo "$fixture_json" | grep -q "\"rule\": \"$rule\"" || {
+        echo "ci: fixture for rule $rule not detected" >&2
+        exit 1
+    }
+done
+
+# Model check: every gating policy on small meshes under full runtime
+# invariants (gating safety, conservation, idle-on budget, duty closure).
+cargo run -q --release --offline -p nbti-noc-bench --bin model_check > /dev/null
+
 echo "ci: all green"

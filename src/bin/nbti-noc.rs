@@ -14,20 +14,20 @@
 //! the design space.
 
 use nbti_noc::prelude::*;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 
 /// Minimal flag parser: `--key value` pairs after the subcommand.
 struct Args {
-    flags: HashMap<String, String>,
+    flags: BTreeMap<String, String>,
     switches: Vec<String>,
 }
 
 impl Args {
     fn parse(args: &[String]) -> Result<Self, String> {
-        let mut flags = HashMap::new();
+        let mut flags = BTreeMap::new();
         let mut switches = Vec::new();
         let mut it = args.iter().peekable();
         while let Some(a) = it.next() {
@@ -69,6 +69,26 @@ impl Args {
 /// Parses `--jobs` (default: available parallelism) and rejects zero.
 fn parse_jobs(args: &Args) -> Result<usize, String> {
     validate_jobs(args.get("jobs", default_jobs())?)
+}
+
+/// Parses `--invariants off|cheap|full` (default: off).
+fn parse_invariants(args: &Args) -> Result<InvariantLevel, String> {
+    args.get("invariants", InvariantLevel::Off)
+}
+
+/// Prints any recorded invariant violations; errors out when there were
+/// any, so the process exits nonzero.
+fn report_invariants(result: &sensorwise::ExperimentResult) -> Result<(), String> {
+    if result.invariant_violations == 0 {
+        return Ok(());
+    }
+    for v in &result.violations {
+        eprintln!("invariant violation: {v}");
+    }
+    Err(format!(
+        "{} invariant violation(s) detected",
+        result.invariant_violations
+    ))
 }
 
 fn parse_policy(name: &str) -> Result<PolicyKind, String> {
@@ -137,16 +157,19 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let policy = parse_policy(args.get("policy", "sensor-wise".to_string())?.as_str())?;
     let warmup = args.get("warmup", 5_000u64)?;
     let measure = args.get("measure", 50_000u64)?;
+    let invariants = parse_invariants(args)?;
     eprintln!(
-        "running {} under {} ({} + {} cycles)...",
+        "running {} under {} ({} + {} cycles, invariants {invariants})...",
         scenario.name(),
         policy,
         warmup,
         measure
     );
-    let result = scenario.run(policy, warmup, measure);
+    let mut job = scenario.job(policy, warmup, measure);
+    job.cfg = job.cfg.with_invariants(invariants);
+    let result = job.run();
     print_port_table(&result, args.has("csv"));
-    Ok(())
+    report_invariants(&result)
 }
 
 fn cmd_sweep(args: &Args) -> Result<(), String> {
@@ -155,6 +178,7 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     let warmup = args.get("warmup", 2_000u64)?;
     let measure = args.get("measure", 30_000u64)?;
     let jobs = parse_jobs(args)?;
+    let invariants = parse_invariants(args)?;
     println!(
         "{:>6} {:>10} {:>10} {:>8}   ({}x{} mesh, {} VCs, MD VC of r0 east)",
         "rate", "rr MD", "sw MD", "gap", cores, cores, vcs
@@ -170,7 +194,11 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
             };
             [PolicyKind::RrNoSensor, PolicyKind::SensorWise]
                 .into_iter()
-                .map(move |policy| scenario.job(policy, warmup, measure))
+                .map(move |policy| {
+                    let mut job = scenario.job(policy, warmup, measure);
+                    job.cfg = job.cfg.with_invariants(invariants);
+                    job
+                })
         })
         .collect();
     let results = run_batch(&batch, jobs);
@@ -180,6 +208,9 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
             pair[1].east_input(NodeId(0)).md_duty(),
         );
         println!("{rate:>6.2} {a:>9.1}% {b:>9.1}% {:>7.1}%", a - b);
+    }
+    for r in &results {
+        report_invariants(r)?;
     }
     Ok(())
 }
@@ -223,10 +254,11 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
     );
     let mut replay = TraceReplay::new(trace);
     let cfg = ExperimentConfig::new(NocConfig::paper_synthetic(cores, vcs), policy)
-        .with_cycles(0, horizon + 2_000);
+        .with_cycles(0, horizon + 2_000)
+        .with_invariants(parse_invariants(args)?);
     let result = run_experiment(&cfg, &mut replay);
     print_port_table(&result, args.has("csv"));
-    Ok(())
+    report_invariants(&result)
 }
 
 fn cmd_area() -> Result<(), String> {
@@ -237,14 +269,15 @@ fn cmd_area() -> Result<(), String> {
 const HELP: &str = "nbti-noc — sensor-wise NBTI mitigation for NoC buffers (DATE 2013 reproduction)
 
 subcommands:
-  run     one scenario under one policy    [--cores --vcs --rate --policy --warmup --measure --csv]
-  sweep   gap vs injection rate            [--cores --vcs --warmup --measure --jobs]
+  run     one scenario under one policy    [--cores --vcs --rate --policy --warmup --measure --invariants --csv]
+  sweep   gap vs injection rate            [--cores --vcs --warmup --measure --invariants --jobs]
   record  record a synthetic trace         --out FILE [--cores --rate --cycles --seed]
-  replay  replay a trace under a policy    --trace FILE [--cores --vcs --policy --csv]
+  replay  replay a trace under a policy    --trace FILE [--cores --vcs --policy --invariants --csv]
   area    print the §III-D area overhead report
   help    this text
 
 policies: baseline | rr | sw-nt | sw | sw-kN (e.g. sw-k2)
+invariant levels: off (default) | cheap | full — runtime protocol checks; violations exit nonzero
 paper tables: see `cargo run -p nbti-noc-bench --bin table2|table3|table4|...`";
 
 fn main() -> ExitCode {

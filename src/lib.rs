@@ -21,6 +21,14 @@
 //! See the `examples/` directory for runnable entry points, starting with
 //! `quickstart.rs`.
 
+#![deny(missing_debug_implementations)]
+#![warn(
+    clippy::semicolon_if_nothing_returned,
+    clippy::explicit_iter_loop,
+    clippy::redundant_closure_for_method_calls,
+    clippy::manual_let_else
+)]
+
 pub use nbti_model as nbti;
 pub use noc_area as area;
 pub use noc_sim as sim;

@@ -1,0 +1,7 @@
+//! Lint fixture: an unordered collection in a sweep crate.
+//!
+//! Must trigger `no-unordered-map` exactly once.
+
+pub fn make() -> std::collections::HashMap<u64, u64> {
+    Default::default()
+}

@@ -1,0 +1,7 @@
+//! Lint fixture: ad-hoc threading outside the deterministic worker pool.
+//!
+//! Must trigger `no-thread-spawn` exactly once.
+
+pub fn fire_and_forget() {
+    std::thread::spawn(|| {});
+}

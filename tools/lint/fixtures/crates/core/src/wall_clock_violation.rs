@@ -1,0 +1,8 @@
+//! Lint fixture: a wall-clock read in simulation code.
+//!
+//! Must trigger `no-wall-clock` exactly once.
+
+pub fn elapsed() -> std::time::Duration {
+    let start = std::time::Instant::now();
+    start.elapsed()
+}

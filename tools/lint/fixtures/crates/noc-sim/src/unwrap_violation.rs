@@ -1,0 +1,11 @@
+//! Lint fixture: `.unwrap()` in a simulation hot path.
+//!
+//! Must trigger `no-unwrap` exactly once — the first call is suppressed by
+//! a justified `lint:allow` marker, the second is the violation.
+
+pub fn first_and_last(flits: &[u32]) -> u32 {
+    // lint:allow(no-unwrap) fixture demonstrates a justified suppression
+    let allowed = flits.first().copied().unwrap();
+    let flagged = flits.last().copied().unwrap();
+    allowed + flagged
+}

@@ -1,0 +1,8 @@
+//! Lint fixture: OS-seeded randomness in a traffic generator.
+//!
+//! Must trigger `no-os-random` exactly once.
+
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}
