@@ -20,13 +20,17 @@
 
 use crate::monitor::NbtiMonitor;
 use crate::policy::{GatingPolicy, PolicyKind};
-use nbti_model::{IdealSensor, LongTermModel, NbtiSensor, ProcessVariation, Volt};
+use nbti_model::{IdealSensor, LongTermModel, NbtiParams, NbtiSensor, ProcessVariation, Volt};
 use noc_sim::config::NocConfig;
 use noc_sim::invariants::{InvariantKind, InvariantLevel, InvariantViolation};
 use noc_sim::network::Network;
 use noc_sim::stats::NetStats;
 use noc_sim::types::{Direction, NodeId};
 use noc_sim::view::PortId;
+use noc_telemetry::{
+    EventKind, MetricsSeries, RecordSink, Sample, TelemetryReport, TelemetrySpec, TraceEvent,
+    TraceSink, WorkCounters,
+};
 use noc_traffic::source::{inject_from, TrafficSource};
 use std::collections::BTreeMap;
 
@@ -61,6 +65,10 @@ pub struct ExperimentConfig {
     /// properties per cycle plus the policy's idle-on designation budget
     /// and end-of-run duty closure). `Off` for production sweeps.
     pub invariants: InvariantLevel,
+    /// What telemetry the run collects (event trace, periodic metrics).
+    /// The default collects nothing and keeps the simulator on the
+    /// zero-cost [`noc_telemetry::NullSink`] path.
+    pub telemetry: TelemetrySpec,
 }
 
 /// Which NBTI sensor model the monitor uses.
@@ -95,6 +103,7 @@ impl ExperimentConfig {
             md_refresh_period: 64,
             sensor: SensorModel::Ideal,
             invariants: InvariantLevel::Off,
+            telemetry: TelemetrySpec::default(),
         }
     }
 
@@ -114,6 +123,12 @@ impl ExperimentConfig {
     /// Overrides the invariant-checking level.
     pub fn with_invariants(mut self, level: InvariantLevel) -> Self {
         self.invariants = level;
+        self
+    }
+
+    /// Overrides the telemetry collection spec.
+    pub fn with_telemetry(mut self, spec: TelemetrySpec) -> Self {
+        self.telemetry = spec;
         self
     }
 }
@@ -158,9 +173,25 @@ pub struct ExperimentResult {
     /// Detailed violation records, capped at
     /// [`noc_sim::invariants::MAX_RECORDED_VIOLATIONS`].
     pub violations: Vec<InvariantViolation>,
+    /// Deterministic work counters accumulated over the whole run
+    /// (simulator pipeline stages plus policy evaluations and sensor
+    /// reads). Always populated — counting is unconditional and cheap.
+    pub work: WorkCounters,
+    /// Harvested telemetry, when [`ExperimentConfig::telemetry`] requested
+    /// any.
+    pub telemetry: Option<TelemetryReport>,
 }
 
 impl ExperimentResult {
+    /// The rolling FNV-1a digest of the run's event stream, when the event
+    /// trace was recorded. Bit-identical for identical configs regardless
+    /// of worker count or record/replay.
+    pub fn trace_digest(&self) -> Option<u64> {
+        self.telemetry
+            .as_ref()
+            .and_then(|t| t.trace.as_ref())
+            .map(|log| log.digest)
+    }
     /// The result for one port.
     pub fn port(&self, port: PortId) -> Option<&PortResult> {
         self.ports.iter().find(|p| p.port == port)
@@ -194,7 +225,24 @@ impl ExperimentResult {
 ///
 /// Panics if the network configuration is invalid.
 pub fn run_experiment(cfg: &ExperimentConfig, traffic: &mut dyn TrafficSource) -> ExperimentResult {
-    let net = Network::new(cfg.noc.clone()).expect("valid NoC configuration");
+    // Dispatch on the sink type here so the common no-trace path
+    // monomorphizes with `NullSink` and keeps zero tracing overhead.
+    if cfg.telemetry.trace {
+        let sink = RecordSink::with_capacity(cfg.telemetry.trace_capacity);
+        let net = Network::with_sink(cfg.noc.clone(), sink).expect("valid NoC configuration");
+        dispatch_sensor(cfg, traffic, net)
+    } else {
+        let net = Network::new(cfg.noc.clone()).expect("valid NoC configuration");
+        dispatch_sensor(cfg, traffic, net)
+    }
+}
+
+/// Builds the monitor for the configured sensor model and enters the loop.
+fn dispatch_sensor<T: TraceSink>(
+    cfg: &ExperimentConfig,
+    traffic: &mut dyn TrafficSource,
+    net: Network<T>,
+) -> ExperimentResult {
     let port_ids: Vec<PortId> = net.port_ids().to_vec();
     let mut pv = ProcessVariation::paper_45nm(cfg.pv_seed);
     match cfg.sensor {
@@ -227,11 +275,11 @@ pub fn run_experiment(cfg: &ExperimentConfig, traffic: &mut dyn TrafficSource) -
     }
 }
 
-/// The per-cycle loop, generic over the sensor model.
-fn run_loop<S: NbtiSensor>(
+/// The per-cycle loop, generic over the sensor model and the trace sink.
+fn run_loop<S: NbtiSensor, T: TraceSink>(
     cfg: &ExperimentConfig,
     traffic: &mut dyn TrafficSource,
-    mut net: Network,
+    mut net: Network<T>,
     port_ids: Vec<PortId>,
     mut monitor: NbtiMonitor<S>,
 ) -> ExperimentResult {
@@ -252,10 +300,35 @@ fn run_loop<S: NbtiSensor>(
     let mut flits_at_warmup: BTreeMap<PortId, u64> = BTreeMap::new();
     let md_period = cfg.md_refresh_period.max(1);
     let mut md_cache: Vec<usize> = vec![0; port_ids.len()];
+    // Engine-level work counters (the network counts its own pipeline
+    // stages); summed into the result at the end.
+    let mut engine_work = WorkCounters::default();
+    let vcs_per_port = cfg.noc.vcs_per_port as u64;
+    let sample_period = cfg.telemetry.sample_period;
+    let mut series = (sample_period > 0).then(|| {
+        MetricsSeries::new(
+            sample_period,
+            port_ids.iter().map(ToString::to_string).collect(),
+        )
+    });
+    let mut churn_at_sample: Vec<u64> = vec![0; port_ids.len()];
     for cycle in 0..total {
         if uses_sensors && cycle % md_period == 0 {
             for (i, &pid) in port_ids.iter().enumerate() {
-                md_cache[i] = monitor.most_degraded(pid);
+                let md = monitor.most_degraded(pid);
+                // One sensor sample per VC per election (the `Down_Up`
+                // link reads the whole port).
+                engine_work.sensor_reads += vcs_per_port;
+                if T::ACTIVE && (cycle == 0 || md != md_cache[i]) {
+                    net.trace_mut().emit(TraceEvent {
+                        cycle,
+                        kind: EventKind::DownUp {
+                            port: pid.into(),
+                            md_vc: md as u8,
+                        },
+                    });
+                }
+                md_cache[i] = md;
             }
         }
         inject_from(traffic, &mut net);
@@ -263,6 +336,7 @@ fn run_loop<S: NbtiSensor>(
         for (i, &pid) in port_ids.iter().enumerate() {
             let view = net.port_view(pid);
             let action = policies[i].decide(cycle, &view, md_cache[i]);
+            engine_work.policy_evaluations += 1;
             net.apply_gate(pid, action);
         }
         if let Some(budget) = budget {
@@ -276,6 +350,25 @@ fn run_loop<S: NbtiSensor>(
         for &pid in &port_ids {
             let statuses = net.vc_statuses(pid);
             monitor.record_cycle(pid, &statuses);
+        }
+        if let Some(series) = series.as_mut() {
+            if (cycle + 1) % sample_period == 0 {
+                for (i, &pid) in port_ids.iter().enumerate() {
+                    let duty = monitor.duty_cycles_percent(pid);
+                    let churn_total = net.gate_transitions(pid);
+                    series.push(Sample {
+                        cycle: cycle + 1,
+                        port: i as u32,
+                        duty_percent: duty.iter().sum::<f64>() / duty.len() as f64,
+                        occupancy: net.port_occupancy(pid) as u32,
+                        churn: churn_total - churn_at_sample[i],
+                        powered_vcs: net.powered_vc_count(pid) as u32,
+                        delta_vth_mv: monitor
+                            .projected_delta_vth_mv(pid, NbtiParams::TEN_YEARS_S),
+                    });
+                    churn_at_sample[i] = churn_total;
+                }
+            }
         }
         if net.cycle() == cfg.warmup_cycles {
             monitor.reset_duty();
@@ -325,6 +418,10 @@ fn run_loop<S: NbtiSensor>(
                 - flits_at_warmup.get(&pid).copied().unwrap_or(0),
         })
         .collect();
+    let telemetry = cfg.telemetry.enabled().then(|| TelemetryReport {
+        trace: net.trace_mut().harvest(),
+        series,
+    });
     ExperimentResult {
         policy: cfg.policy,
         measured_cycles: cfg.measure_cycles,
@@ -332,6 +429,8 @@ fn run_loop<S: NbtiSensor>(
         net: *net.stats(),
         invariant_violations,
         violations,
+        work: net.work_counters() + engine_work,
+        telemetry,
     }
 }
 
@@ -564,6 +663,61 @@ mod tests {
         );
         assert!(k1.net.packets_ejected > 100);
         assert!(k3.net.packets_ejected > 100);
+    }
+
+    #[test]
+    fn telemetry_collects_trace_and_series() {
+        let noc = NocConfig::paper_synthetic(4, 2);
+        let mesh = noc_sim::topology::Mesh2D::new(2, 2);
+        let mut traffic = SyntheticTraffic::uniform(mesh, 0.1, 5, 3);
+        let cfg = ExperimentConfig::new(noc, PolicyKind::SensorWise)
+            .with_cycles(200, 1_000)
+            .with_telemetry(TelemetrySpec {
+                trace: true,
+                trace_capacity: 0,
+                sample_period: 200,
+            });
+        let r = run_experiment(&cfg, &mut traffic);
+        let t = r.telemetry.as_ref().expect("telemetry requested");
+        let log = t.trace.as_ref().expect("trace recorded");
+        assert!(log.total > 0, "a gating run emits events");
+        assert_eq!(r.trace_digest(), Some(log.digest));
+        let series = t.series.as_ref().expect("series recorded");
+        // (200 + 1000) / 200 sampling points, one row per port.
+        assert_eq!(series.len(), 6 * 16);
+        assert_eq!(r.work.policy_evaluations, 1_200 * 16);
+        assert!(r.work.sensor_reads > 0);
+    }
+
+    #[test]
+    fn telemetry_off_is_bit_identical_and_digest_is_stable() {
+        let run = |spec: TelemetrySpec| {
+            let noc = NocConfig::paper_synthetic(4, 2);
+            let mesh = noc_sim::topology::Mesh2D::new(2, 2);
+            let mut traffic = SyntheticTraffic::uniform(mesh, 0.15, 5, 7);
+            let cfg = ExperimentConfig::new(noc, PolicyKind::SensorWise)
+                .with_cycles(200, 2_000)
+                .with_telemetry(spec);
+            run_experiment(&cfg, &mut traffic)
+        };
+        let plain = run(TelemetrySpec::default());
+        let traced = run(TelemetrySpec {
+            trace: true,
+            trace_capacity: 64,
+            sample_period: 0,
+        });
+        let again = run(TelemetrySpec {
+            trace: true,
+            trace_capacity: 0,
+            sample_period: 500,
+        });
+        assert!(plain.telemetry.is_none());
+        assert_eq!(plain.net, traced.net, "tracing must not perturb the run");
+        assert_eq!(plain.ports, traced.ports);
+        assert_eq!(plain.work, traced.work);
+        // Whole-stream digest is independent of ring capacity and sampler.
+        assert_eq!(traced.trace_digest(), again.trace_digest());
+        assert!(traced.trace_digest().is_some());
     }
 
     #[test]

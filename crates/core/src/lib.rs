@@ -64,3 +64,4 @@ pub use parallel::{
     default_jobs, parallel_map, run_batch, validate_jobs, ExperimentJob, TrafficSpec,
 };
 pub use policy::{BaselinePolicy, GatingPolicy, PolicyKind, RrNoSensorPolicy, SensorWisePolicy};
+pub use noc_telemetry::{TelemetryReport, TelemetrySpec, WorkCounters};

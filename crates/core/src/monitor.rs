@@ -144,6 +144,16 @@ impl<S: NbtiSensor> NbtiMonitor<S> {
             .collect()
     }
 
+    /// Projected NBTI `Vth` shift of `port`'s most degraded VC (by initial
+    /// `Vth`), in millivolts, at `horizon_s` seconds of operation assuming
+    /// the duty observed so far persists. This is the telemetry sampler's
+    /// `delta_vth_mv` column.
+    pub fn projected_delta_vth_mv(&self, port: PortId, horizon_s: f64) -> f64 {
+        let tracker = self.tracker(port);
+        let buf = tracker.buffer(tracker.most_degraded_initial());
+        buf.projected_vth(horizon_s).as_millivolts() - buf.initial_vth().as_millivolts()
+    }
+
     /// Per-VC `(stress, recovery)` cycle totals for `port` since the last
     /// duty reset — the inputs of the duty-closure invariant
     /// (stress + recovery must equal the monitored cycle count).
@@ -225,6 +235,22 @@ mod tests {
         let a = m.initial_vths(ports()[0]);
         let b = m.initial_vths(ports()[1]);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn projected_delta_vth_grows_with_stress() {
+        let mut idle = monitor(5);
+        let mut busy = monitor(5);
+        let p = ports()[0];
+        let horizon = 10.0 * 365.25 * 24.0 * 3600.0;
+        for _ in 0..100 {
+            idle.record_cycle(p, &[VcStatus::Off; 4]);
+            busy.record_cycle(p, &[VcStatus::Busy; 4]);
+        }
+        let low = idle.projected_delta_vth_mv(p, horizon);
+        let high = busy.projected_delta_vth_mv(p, horizon);
+        assert!(low.abs() < 1e-9, "fully recovered VC projects no shift: {low}");
+        assert!(high > 1.0, "10-year full-duty shift in mV: {high}");
     }
 
     #[test]

@@ -52,6 +52,10 @@ pub mod types;
 mod unit;
 pub mod view;
 
+/// The observability layer the simulator emits into (re-exported so
+/// downstream crates need no direct `noc-telemetry` dependency).
+pub use noc_telemetry as telemetry;
+
 pub use config::NocConfig;
 pub use invariants::{InvariantKind, InvariantLevel, InvariantViolation};
 pub use network::Network;

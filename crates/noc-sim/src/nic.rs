@@ -10,6 +10,7 @@ use crate::flit::{Flit, FlitKind, PacketId};
 use crate::invariants::{InvariantKind, InvariantViolation};
 use crate::types::NodeId;
 use crate::unit::{Credit, InVcState, InputUnit, OutVcState, OutputUnit};
+use noc_telemetry::{EventKind, TraceEvent, TraceSink};
 use std::collections::VecDeque;
 
 /// A packet queued for injection.
@@ -123,11 +124,17 @@ impl Nic {
 
     /// Runs the ejection side for one cycle: drains at most one arrived
     /// flit per VC. Returns the credits to send to the router's local
-    /// output port and the packets completed this cycle.
-    pub fn drain_eject(&mut self, now: u64) -> (Vec<Credit>, Vec<EjectedPacket>, usize) {
+    /// output port and the packets completed this cycle. Each drained flit
+    /// is traced as an [`EventKind::FlitEject`] when the sink is active.
+    pub fn drain_eject<T: TraceSink>(
+        &mut self,
+        now: u64,
+        trace: &mut T,
+    ) -> (Vec<Credit>, Vec<EjectedPacket>, usize) {
         let mut credits = Vec::new();
         let mut done = Vec::new();
         let mut drained = 0usize;
+        let node = self.node;
         for (vc_idx, vc) in self.eject.vcs.iter_mut().enumerate() {
             let ready = vc
                 .buffer
@@ -141,6 +148,16 @@ impl Nic {
                 continue;
             };
             drained += 1;
+            if T::ACTIVE {
+                trace.emit(TraceEvent {
+                    cycle: now,
+                    kind: EventKind::FlitEject {
+                        node: node.index() as u32,
+                        packet: flit.packet.0,
+                        vc: vc_idx as u8,
+                    },
+                });
+            }
             credits.push(Credit {
                 vc: vc_idx,
                 is_free: flit.is_tail(),
@@ -268,13 +285,13 @@ mod tests {
             };
         }
         // Head drained first (ready at 11).
-        let (credits, done, drained) = n.drain_eject(11);
+        let (credits, done, drained) = n.drain_eject(11, &mut noc_telemetry::NullSink);
         assert_eq!(drained, 1);
         assert_eq!(credits.len(), 1);
         assert!(!credits[0].is_free);
         assert!(done.is_empty());
         // Tail next (ready at 12): packet completes, VC freed.
-        let (credits, done, _) = n.drain_eject(12);
+        let (credits, done, _) = n.drain_eject(12, &mut noc_telemetry::NullSink);
         assert!(credits[0].is_free);
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].id, PacketId(7));
@@ -288,9 +305,9 @@ mod tests {
         let mut f = crate::flit::split_packet(PacketId(7), NodeId(3), NodeId(0), 1, 0)[0];
         f.vc = 1;
         n.eject.write_flit(f, 20, 4);
-        let (_, _, drained) = n.drain_eject(20);
+        let (_, _, drained) = n.drain_eject(20, &mut noc_telemetry::NullSink);
         assert_eq!(drained, 0, "flit only ready at cycle 21");
-        let (_, done, drained) = n.drain_eject(21);
+        let (_, done, drained) = n.drain_eject(21, &mut noc_telemetry::NullSink);
         assert_eq!(drained, 1);
         assert_eq!(done.len(), 1);
     }

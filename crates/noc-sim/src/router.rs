@@ -18,6 +18,7 @@ use crate::arbiter::RoundRobinArbiter;
 use crate::invariants::{InvariantKind, InvariantViolation};
 use crate::types::{Direction, NodeId};
 use crate::unit::{InVcState, InputUnit, OutVcState, OutputUnit};
+use noc_telemetry::{EventKind, TraceEvent, TraceSink, WorkCounters};
 
 /// Number of ports (N, S, E, W, Local).
 pub(crate) const NUM_PORTS: usize = 5;
@@ -78,7 +79,17 @@ impl Router {
     /// The VA stage: grants free, allocatable output VCs to waiting head
     /// flits. Under a gating policy at most one output VC per port is
     /// allocatable, matching the paper's single-new-VC-per-cycle property.
-    pub fn vc_allocation(&mut self, now: u64, depth: usize) {
+    ///
+    /// Counts every grant into `work` and (when the sink is active) emits
+    /// one [`EventKind::VaGrant`] per grant.
+    pub fn vc_allocation<T: TraceSink>(
+        &mut self,
+        now: u64,
+        depth: usize,
+        node: NodeId,
+        work: &mut WorkCounters,
+        trace: &mut T,
+    ) {
         let num_vcs = self.num_vcs();
         let inputs = &mut self.inputs;
         for (out_idx, out) in self.outputs.iter_mut().enumerate() {
@@ -113,6 +124,19 @@ impl Router {
                     "an idle out VC must hold all its credits"
                 );
                 out.vcs[ovc].state = OutVcState::Active;
+                work.va_grants += 1;
+                if T::ACTIVE {
+                    trace.emit(TraceEvent {
+                        cycle: now,
+                        kind: EventKind::VaGrant {
+                            node: node.index() as u32,
+                            in_port: p as u8,
+                            vc: v as u8,
+                            out_port: out_idx as u8,
+                            out_vc: ovc as u8,
+                        },
+                    });
+                }
             }
         }
     }
@@ -234,6 +258,16 @@ mod tests {
         Router::new(num_vcs, 4, [true; NUM_PORTS])
     }
 
+    fn va(r: &mut Router, now: u64) {
+        r.vc_allocation(
+            now,
+            4,
+            NodeId(0),
+            &mut WorkCounters::default(),
+            &mut noc_telemetry::NullSink,
+        );
+    }
+
     fn put_waiting_head(r: &mut Router, in_port: usize, vc: usize, outport: Direction, now: u64) {
         let mut f = split_packet(PacketId(vc as u64 + 100), NodeId(0), NodeId(1), 3, 0)[0];
         f.vc = vc;
@@ -260,7 +294,7 @@ mod tests {
     fn va_grants_free_allocatable_vc() {
         let mut r = router(2);
         put_waiting_head(&mut r, Direction::West.index(), 0, Direction::East, 0);
-        r.vc_allocation(1, 4);
+        va(&mut r, 1);
         let st = r.inputs[Direction::West.index()].vcs[0].state;
         assert!(matches!(
             st,
@@ -280,12 +314,12 @@ mod tests {
         let mut r = router(2);
         put_waiting_head(&mut r, Direction::West.index(), 0, Direction::East, 5);
         // va_ready_at is 6; VA at cycle 5 must not grant.
-        r.vc_allocation(5, 4);
+        va(&mut r, 5);
         assert!(matches!(
             r.inputs[Direction::West.index()].vcs[0].state,
             InVcState::Waiting { .. }
         ));
-        r.vc_allocation(6, 4);
+        va(&mut r, 6);
         assert!(matches!(
             r.inputs[Direction::West.index()].vcs[0].state,
             InVcState::Active { .. }
@@ -299,14 +333,14 @@ mod tests {
         for vc in &mut r.outputs[Direction::East.index()].vcs {
             vc.allocatable = false;
         }
-        r.vc_allocation(1, 4);
+        va(&mut r, 1);
         assert!(matches!(
             r.inputs[Direction::West.index()].vcs[0].state,
             InVcState::Waiting { .. }
         ));
         // Re-enable only VC 1: the head must land there.
         r.outputs[Direction::East.index()].vcs[1].allocatable = true;
-        r.vc_allocation(2, 4);
+        va(&mut r, 2);
         assert!(matches!(
             r.inputs[Direction::West.index()].vcs[0].state,
             InVcState::Active { out_vc: 1, .. }
@@ -319,7 +353,7 @@ mod tests {
         // Two waiting heads from different ports racing for East.
         put_waiting_head(&mut r, Direction::West.index(), 0, Direction::East, 0);
         put_waiting_head(&mut r, Direction::North.index(), 0, Direction::East, 0);
-        r.vc_allocation(1, 4);
+        va(&mut r, 1);
         // Both get VCs this cycle (two free out VCs under AllOn).
         assert!(matches!(
             r.inputs[Direction::North.index()].vcs[0].state,
@@ -336,7 +370,7 @@ mod tests {
         let mut r = router(2);
         put_waiting_head(&mut r, Direction::West.index(), 0, Direction::East, 0);
         put_waiting_head(&mut r, Direction::North.index(), 0, Direction::East, 0);
-        r.vc_allocation(1, 4);
+        va(&mut r, 1);
         let winners = r.switch_allocation(1);
         assert_eq!(winners.len(), 1, "one grant per output port");
         assert_eq!(winners[0].out_port, Direction::East.index());
@@ -346,7 +380,7 @@ mod tests {
     fn sa_requires_credits() {
         let mut r = router(2);
         put_waiting_head(&mut r, Direction::West.index(), 0, Direction::East, 0);
-        r.vc_allocation(1, 4);
+        va(&mut r, 1);
         r.outputs[Direction::East.index()].vcs[0].credits = 0;
         assert!(r.switch_allocation(1).is_empty());
     }
@@ -355,7 +389,7 @@ mod tests {
     fn sa_respects_flit_readiness() {
         let mut r = router(2);
         put_waiting_head(&mut r, Direction::West.index(), 0, Direction::East, 10);
-        r.vc_allocation(11, 4);
+        va(&mut r, 11);
         // Flit ready_at = 11; SA at 10 would be too early (cannot happen in
         // practice, but the guard must hold).
         assert!(r.switch_allocation(10).is_empty());
@@ -367,7 +401,7 @@ mod tests {
         let mut r = router(2);
         put_waiting_head(&mut r, Direction::West.index(), 0, Direction::East, 0);
         put_waiting_head(&mut r, Direction::East.index(), 0, Direction::West, 0);
-        r.vc_allocation(1, 4);
+        va(&mut r, 1);
         let winners = r.switch_allocation(1);
         assert_eq!(winners.len(), 2);
     }

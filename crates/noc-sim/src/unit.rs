@@ -67,6 +67,9 @@ pub(crate) struct InputUnit {
     pub arrivals: VecDeque<(u64, Flit)>,
     /// Total flits written into this unit's buffers.
     pub flits_received: u64,
+    /// Total power-gating transitions (on→off plus off→on) applied to this
+    /// unit's VCs — the gating churn reported by the telemetry sampler.
+    pub gate_transitions: u64,
 }
 
 impl InputUnit {
@@ -75,6 +78,7 @@ impl InputUnit {
             vcs: (0..num_vcs).map(|_| InputVc::new(depth)).collect(),
             arrivals: VecDeque::new(),
             flits_received: 0,
+            gate_transitions: 0,
         };
         if !connected {
             // Boundary ports never receive traffic; keep them gated so they

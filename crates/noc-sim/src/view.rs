@@ -49,6 +49,18 @@ impl fmt::Display for PortId {
     }
 }
 
+impl From<PortId> for noc_telemetry::PortCode {
+    fn from(p: PortId) -> Self {
+        let node = p.node.index() as u32;
+        match p.kind {
+            PortKind::RouterInput(d) => {
+                noc_telemetry::PortCode::router_input(node, d.index() as u8)
+            }
+            PortKind::NicEject => noc_telemetry::PortCode::nic_eject(node),
+        }
+    }
+}
+
 /// The kind of buffer port.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum PortKind {
@@ -196,6 +208,18 @@ mod tests {
             "r2-W"
         );
         assert_eq!(PortId::nic_eject(NodeId(1)).to_string(), "r1-eject");
+    }
+
+    #[test]
+    fn port_code_conversion_preserves_display() {
+        for pid in [
+            PortId::router_input(NodeId(2), Direction::West),
+            PortId::router_input(NodeId(0), Direction::Local),
+            PortId::nic_eject(NodeId(1)),
+        ] {
+            let code: noc_telemetry::PortCode = pid.into();
+            assert_eq!(code.to_string(), pid.to_string());
+        }
     }
 
     #[test]

@@ -1,0 +1,258 @@
+//! Trace sinks: where emitted events go.
+//!
+//! The simulator is generic over a [`TraceSink`] type parameter rather than
+//! holding a `dyn` sink, so the default [`NullSink`] monomorphizes every
+//! emission site away (see the crate docs for the zero-overhead contract).
+
+use crate::digest::EventDigest;
+use crate::event::TraceEvent;
+use std::collections::VecDeque;
+use std::io::{self, Write};
+
+/// Receives trace events from the simulator.
+///
+/// Implementors that actually record must keep [`TraceSink::ACTIVE`] at its
+/// default `true`; the simulator skips event construction entirely when it
+/// is `false`.
+pub trait TraceSink {
+    /// Whether emission sites should construct and deliver events at all.
+    /// `false` compiles tracing out of the simulation loop.
+    const ACTIVE: bool = true;
+
+    /// Delivers one event.
+    fn emit(&mut self, ev: TraceEvent);
+
+    /// Takes the recorded log out of the sink, if it keeps one. Streaming
+    /// and null sinks return `None`.
+    fn harvest(&mut self) -> Option<EventLog> {
+        None
+    }
+}
+
+/// The do-nothing sink: the default, compiled to nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    const ACTIVE: bool = false;
+
+    #[inline(always)]
+    fn emit(&mut self, _ev: TraceEvent) {}
+}
+
+/// The harvested outcome of a recording sink: the kept events (all of
+/// them, or the last `capacity` under a ring limit), the total emitted
+/// count, and the digest over the *whole* stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventLog {
+    /// The kept events, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Total events emitted, including any evicted from the ring.
+    pub total: u64,
+    /// FNV-1a digest over every emitted event (see
+    /// [`EventDigest`](crate::digest::EventDigest)).
+    pub digest: u64,
+}
+
+/// An in-memory sink: a ring buffer of the most recent events plus a
+/// rolling digest and total count over the whole stream.
+#[derive(Debug, Clone, Default)]
+pub struct RecordSink {
+    capacity: usize,
+    ring: VecDeque<TraceEvent>,
+    total: u64,
+    digest: EventDigest,
+}
+
+impl RecordSink {
+    /// An unbounded recorder (keeps every event).
+    pub fn unbounded() -> Self {
+        RecordSink::with_capacity(0)
+    }
+
+    /// A recorder keeping the last `capacity` events (`0` = unbounded).
+    /// The digest and total always cover the whole stream.
+    pub fn with_capacity(capacity: usize) -> Self {
+        RecordSink {
+            capacity,
+            ring: VecDeque::new(),
+            total: 0,
+            digest: EventDigest::new(),
+        }
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// `true` when nothing was recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Total events emitted into this sink.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The rolling digest value over every emitted event.
+    pub fn digest(&self) -> u64 {
+        self.digest.value()
+    }
+}
+
+impl TraceSink for RecordSink {
+    fn emit(&mut self, ev: TraceEvent) {
+        self.digest.update(&ev);
+        self.total += 1;
+        if self.capacity > 0 && self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(ev);
+    }
+
+    fn harvest(&mut self) -> Option<EventLog> {
+        Some(EventLog {
+            events: std::mem::take(&mut self.ring).into(),
+            total: self.total,
+            digest: self.digest.value(),
+        })
+    }
+}
+
+/// A streaming sink writing one JSONL line per event, keeping the same
+/// rolling digest as [`RecordSink`]. The first write error is sticky:
+/// later emissions are dropped and the error surfaces from
+/// [`JsonlSink::finish`].
+pub struct JsonlSink<W: Write> {
+    writer: W,
+    line: String,
+    total: u64,
+    digest: EventDigest,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> std::fmt::Debug for JsonlSink<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("total", &self.total)
+            .field("digest", &self.digest.value())
+            .field("error", &self.error)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps a writer (buffer it yourself for file targets).
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer,
+            line: String::new(),
+            total: 0,
+            digest: EventDigest::new(),
+            error: None,
+        }
+    }
+
+    /// Total events emitted into this sink.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The rolling digest value over every emitted event.
+    pub fn digest(&self) -> u64 {
+        self.digest.value()
+    }
+
+    /// Flushes and returns the writer, or the first sticky write error.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn emit(&mut self, ev: TraceEvent) {
+        self.digest.update(&ev);
+        self.total += 1;
+        if self.error.is_some() {
+            return;
+        }
+        self.line.clear();
+        ev.write_jsonl(&mut self.line);
+        if let Err(e) = self.writer.write_all(self.line.as_bytes()) {
+            self.error = Some(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{read_jsonl, EventKind, PortCode};
+
+    fn ev(cycle: u64) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            kind: EventKind::GateOff {
+                port: PortCode::router_input(1, 3),
+                vc: (cycle % 4) as u8,
+            },
+        }
+    }
+
+    #[test]
+    fn null_sink_is_inactive() {
+        assert!(!NullSink::ACTIVE);
+        let mut s = NullSink;
+        s.emit(ev(1));
+        assert_eq!(s.harvest(), None);
+    }
+
+    #[test]
+    fn record_sink_keeps_everything_when_unbounded() {
+        let mut s = RecordSink::unbounded();
+        for c in 0..10 {
+            s.emit(ev(c));
+        }
+        let log = s.harvest().expect("record sinks harvest");
+        assert_eq!(log.total, 10);
+        assert_eq!(log.events.len(), 10);
+        assert_eq!(log.digest, EventDigest::of(&log.events));
+    }
+
+    #[test]
+    fn ring_capacity_evicts_but_digest_covers_all() {
+        let all: Vec<TraceEvent> = (0..10).map(ev).collect();
+        let mut s = RecordSink::with_capacity(4);
+        for e in &all {
+            s.emit(e.clone());
+        }
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.total(), 10);
+        assert_eq!(s.digest(), EventDigest::of(&all), "digest is whole-stream");
+        let log = s.harvest().expect("record sinks harvest");
+        assert_eq!(log.events, all[6..].to_vec(), "ring keeps the newest");
+    }
+
+    #[test]
+    fn jsonl_sink_stream_matches_record_sink_digest() {
+        let all: Vec<TraceEvent> = (0..8).map(ev).collect();
+        let mut j = JsonlSink::new(Vec::new());
+        let mut r = RecordSink::unbounded();
+        for e in &all {
+            j.emit(e.clone());
+            r.emit(e.clone());
+        }
+        assert_eq!(j.digest(), r.digest());
+        assert_eq!(j.total(), 8);
+        let bytes = j.finish().expect("vec write never fails");
+        let parsed = read_jsonl(std::str::from_utf8(&bytes).expect("utf8")).expect("parses");
+        assert_eq!(parsed, all, "file round-trips");
+        assert_eq!(EventDigest::of(&parsed), r.digest(), "re-hash matches");
+    }
+}

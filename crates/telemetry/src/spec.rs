@@ -1,0 +1,62 @@
+//! Experiment-facing telemetry configuration and report.
+//!
+//! [`TelemetrySpec`] is the small `Copy` value the experiment config
+//! carries (so configs stay `Clone` and cheaply shippable across worker
+//! threads); the engine builds the actual sinks from it at run start.
+//! [`TelemetryReport`] is what comes back in the experiment result.
+
+use crate::series::MetricsSeries;
+use crate::sink::EventLog;
+
+/// What to collect during an experiment run. The default collects
+/// nothing, which keeps the simulator on the [`NullSink`] fast path.
+///
+/// [`NullSink`]: crate::sink::NullSink
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TelemetrySpec {
+    /// Record the typed event trace (gating, VA grants, flit movement).
+    pub trace: bool,
+    /// Ring-buffer capacity for the recorded trace; `0` keeps every event.
+    pub trace_capacity: usize,
+    /// Sample per-port metrics every this many cycles; `0` disables the
+    /// sampler.
+    pub sample_period: u64,
+}
+
+impl TelemetrySpec {
+    /// `true` when any collection is requested.
+    pub fn enabled(&self) -> bool {
+        self.trace || self.sample_period > 0
+    }
+}
+
+/// Telemetry harvested from one experiment run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetryReport {
+    /// The recorded event trace, when [`TelemetrySpec::trace`] was set.
+    pub trace: Option<EventLog>,
+    /// The sampled metrics series, when [`TelemetrySpec::sample_period`]
+    /// was non-zero.
+    pub series: Option<MetricsSeries>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_is_disabled() {
+        let spec = TelemetrySpec::default();
+        assert!(!spec.enabled());
+        assert!(TelemetrySpec {
+            trace: true,
+            ..TelemetrySpec::default()
+        }
+        .enabled());
+        assert!(TelemetrySpec {
+            sample_period: 500,
+            ..TelemetrySpec::default()
+        }
+        .enabled());
+    }
+}

@@ -47,7 +47,10 @@ impl<T: TrafficSource + ?Sized> TrafficSource for Box<T> {
 /// Pulls this cycle's packets from `source` and queues them in `net`'s NIC
 /// injection queues. Call once per cycle, before `Network::begin_cycle`.
 /// Returns the number of packets injected.
-pub fn inject_from<S: TrafficSource + ?Sized>(source: &mut S, net: &mut Network) -> usize {
+pub fn inject_from<S: TrafficSource + ?Sized, T: noc_sim::telemetry::TraceSink>(
+    source: &mut S,
+    net: &mut Network<T>,
+) -> usize {
     let mut specs = Vec::new();
     source.emit(net.cycle(), &mut specs);
     for spec in &specs {

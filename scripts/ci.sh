@@ -11,8 +11,8 @@ cargo test -q --offline
 cargo clippy --all-targets --offline -- -D warnings
 
 # Determinism lint: the workspace must be clean, and the fixture tree must
-# trip every rule (each exactly once — the lint crate's own tests assert
-# the exact counts; here we gate on the exit codes).
+# trip every rule (the lint crate's own tests assert the exact
+# multiplicities; here we gate on the exit codes).
 cargo run -q --offline -p lint -- --json > /dev/null
 if cargo run -q --offline -p lint -- --root tools/lint/fixtures > /dev/null 2>&1; then
     echo "ci: lint fixtures unexpectedly clean" >&2
@@ -29,5 +29,21 @@ done
 # Model check: every gating policy on small meshes under full runtime
 # invariants (gating safety, conservation, idle-on budget, duty closure).
 cargo run -q --release --offline -p nbti-noc-bench --bin model_check > /dev/null
+
+# Telemetry smoke: a traced run must produce a parseable event trace and a
+# non-empty metrics series, and `stats` must re-derive a digest from it.
+teldir=$(mktemp -d)
+trap 'rm -rf "$teldir"' EXIT
+./target/release/nbti-noc run --cores 4 --vcs 2 --rate 0.1 --policy sw \
+    --warmup 200 --measure 2000 \
+    --trace-out "$teldir/events.jsonl" --metrics-out "$teldir/metrics.csv" \
+    --sample-period 500 > /dev/null 2>&1
+test -s "$teldir/events.jsonl" || { echo "ci: empty telemetry trace" >&2; exit 1; }
+test -s "$teldir/metrics.csv" || { echo "ci: empty telemetry metrics" >&2; exit 1; }
+./target/release/nbti-noc stats --trace "$teldir/events.jsonl" \
+    | grep -q "digest: [0-9a-f]\{16\}" || {
+    echo "ci: stats did not report a digest" >&2
+    exit 1
+}
 
 echo "ci: all green"

@@ -2,9 +2,12 @@
 //!
 //! ```text
 //! nbti-noc run    [--cores N] [--vcs V] [--rate R] [--policy P] [--warmup N] [--measure N] [--csv]
+//!                 [--trace-out FILE] [--metrics-out FILE] [--sample-period N]
 //! nbti-noc sweep  [--cores N] [--vcs V] [--warmup N] [--measure N]
 //! nbti-noc record --out FILE [--cores N] [--rate R] [--cycles N] [--seed N]
 //! nbti-noc replay --trace FILE [--cores N] [--vcs V] [--policy P]
+//!                 [--trace-out FILE] [--metrics-out FILE] [--sample-period N]
+//! nbti-noc stats  --trace FILE
 //! nbti-noc area
 //! nbti-noc help
 //! ```
@@ -16,7 +19,7 @@
 use nbti_noc::prelude::*;
 use std::collections::BTreeMap;
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::{BufReader, BufWriter, Write as _};
 use std::process::ExitCode;
 
 /// Minimal flag parser: `--key value` pairs after the subcommand.
@@ -110,9 +113,20 @@ fn parse_policy(name: &str) -> Result<PolicyKind, String> {
     }
 }
 
+/// `(p50, p95, p99, max)` upper bounds from the latency histogram, when
+/// any packet was delivered.
+fn latency_summary(net: &NetStats) -> Option<(u64, u64, u64, u64)> {
+    Some((
+        net.latency_quantile_upper(0.5)?,
+        net.latency_quantile_upper(0.95)?,
+        net.latency_quantile_upper(0.99)?,
+        net.latency_quantile_upper(1.0)?,
+    ))
+}
+
 fn print_port_table(result: &sensorwise::ExperimentResult, csv: bool) {
     if csv {
-        let vcs = result.ports[0].duty_percent.len();
+        let vcs = result.ports.first().map_or(0, |p| p.duty_percent.len());
         print!("port,md_vc");
         for v in 0..vcs {
             print!(",duty_vc{v}");
@@ -124,6 +138,9 @@ fn print_port_table(result: &sensorwise::ExperimentResult, csv: bool) {
                 print!(",{d:.3}");
             }
             println!(",{}", p.flits_received);
+        }
+        if let Some((p50, p95, p99, max)) = latency_summary(&result.net) {
+            println!("# latency_cycles p50<={p50} p95<={p95} p99<={p99} max<={max}");
         }
         return;
     }
@@ -146,6 +163,75 @@ fn print_port_table(result: &sensorwise::ExperimentResult, csv: bool) {
         result.net.packets_ejected,
         result.net.avg_latency().unwrap_or(f64::NAN)
     );
+    if let Some((p50, p95, p99, max)) = latency_summary(&result.net) {
+        println!("latency percentiles: p50<={p50} p95<={p95} p99<={p99} max<={max} cycles");
+    }
+}
+
+/// Telemetry requested on the command line: the spec for the experiment
+/// config plus the output destinations.
+struct TelemetryArgs {
+    spec: TelemetrySpec,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+}
+
+/// Parses `--trace-out FILE`, `--metrics-out FILE` and `--sample-period N`.
+/// Requesting a metrics file without a period uses 1000 cycles.
+fn parse_telemetry(args: &Args) -> Result<TelemetryArgs, String> {
+    let trace_out = args.flags.get("trace-out").cloned();
+    let metrics_out = args.flags.get("metrics-out").cloned();
+    let mut sample_period = args.get("sample-period", 0u64)?;
+    if metrics_out.is_some() && sample_period == 0 {
+        sample_period = 1_000;
+    }
+    Ok(TelemetryArgs {
+        spec: TelemetrySpec {
+            trace: trace_out.is_some(),
+            trace_capacity: 0,
+            sample_period,
+        },
+        trace_out,
+        metrics_out,
+    })
+}
+
+/// Writes the harvested telemetry to the requested files (JSONL events,
+/// CSV metrics) and reports totals and the stream digest on stderr.
+fn write_telemetry(result: &sensorwise::ExperimentResult, t: &TelemetryArgs) -> Result<(), String> {
+    let Some(report) = result.telemetry.as_ref() else {
+        return Ok(());
+    };
+    if let Some(path) = &t.trace_out {
+        let log = report
+            .trace
+            .as_ref()
+            .ok_or_else(|| "trace requested but not harvested".to_string())?;
+        let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+        let mut w = BufWriter::new(file);
+        let mut line = String::new();
+        for ev in &log.events {
+            line.clear();
+            ev.write_jsonl(&mut line);
+            w.write_all(line.as_bytes())
+                .map_err(|e| format!("write to {path} failed: {e}"))?;
+        }
+        w.flush().map_err(|e| format!("write to {path} failed: {e}"))?;
+        eprintln!(
+            "wrote {} events to {path} (digest {:016x})",
+            log.total, log.digest
+        );
+    }
+    if let Some(path) = &t.metrics_out {
+        let series = report
+            .series
+            .as_ref()
+            .ok_or_else(|| "metrics requested but not sampled".to_string())?;
+        std::fs::write(path, series.to_csv())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {} metric rows to {path}", series.len());
+    }
+    Ok(())
 }
 
 fn cmd_run(args: &Args) -> Result<(), String> {
@@ -165,10 +251,15 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         warmup,
         measure
     );
+    let telemetry = parse_telemetry(args)?;
     let mut job = scenario.job(policy, warmup, measure);
-    job.cfg = job.cfg.with_invariants(invariants);
+    job.cfg = job
+        .cfg
+        .with_invariants(invariants)
+        .with_telemetry(telemetry.spec);
     let result = job.run();
     print_port_table(&result, args.has("csv"));
+    write_telemetry(&result, &telemetry)?;
     report_invariants(&result)
 }
 
@@ -252,13 +343,73 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
         "replaying {} packets ({horizon} cycles) under {policy}...",
         trace.len()
     );
+    let telemetry = parse_telemetry(args)?;
     let mut replay = TraceReplay::new(trace);
     let cfg = ExperimentConfig::new(NocConfig::paper_synthetic(cores, vcs), policy)
         .with_cycles(0, horizon + 2_000)
-        .with_invariants(parse_invariants(args)?);
+        .with_invariants(parse_invariants(args)?)
+        .with_telemetry(telemetry.spec);
     let result = run_experiment(&cfg, &mut replay);
     print_port_table(&result, args.has("csv"));
+    write_telemetry(&result, &telemetry)?;
     report_invariants(&result)
+}
+
+/// Nearest-rank percentile of a sorted slice.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let path = args.required("trace")?.to_string();
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let events = read_jsonl(&text).map_err(|e| format!("bad trace {path}: {e}"))?;
+    println!("{} events from {path}", events.len());
+
+    let mut counts = vec![0u64; EventKind::TAGS.len()];
+    let mut churn: BTreeMap<String, u64> = BTreeMap::new();
+    let mut latencies: Vec<u64> = Vec::new();
+    for ev in &events {
+        // TAGS covers every kind; position() cannot miss.
+        if let Some(i) = EventKind::TAGS.iter().position(|&t| t == ev.kind.tag()) {
+            counts[i] += 1;
+        }
+        match &ev.kind {
+            EventKind::GateOn { port, .. } | EventKind::GateOff { port, .. } => {
+                *churn.entry(port.to_string()).or_insert(0) += 1;
+            }
+            EventKind::PacketDone { latency, .. } => latencies.push(*latency),
+            _ => {}
+        }
+    }
+
+    println!("event counts:");
+    for (tag, n) in EventKind::TAGS.iter().zip(&counts) {
+        if *n > 0 {
+            println!("  {tag:<10} {n}");
+        }
+    }
+    if !churn.is_empty() {
+        println!("gating churn per port (gate_on + gate_off):");
+        for (port, n) in &churn {
+            println!("  {port:<12} {n}");
+        }
+    }
+    if !latencies.is_empty() {
+        latencies.sort_unstable();
+        println!(
+            "latency: p50 {} p95 {} p99 {} max {} cycles ({} packets)",
+            percentile(&latencies, 0.5),
+            percentile(&latencies, 0.95),
+            percentile(&latencies, 0.99),
+            latencies[latencies.len() - 1],
+            latencies.len()
+        );
+    }
+    println!("digest: {:016x}", EventDigest::of(&events));
+    Ok(())
 }
 
 fn cmd_area() -> Result<(), String> {
@@ -270,14 +421,18 @@ const HELP: &str = "nbti-noc — sensor-wise NBTI mitigation for NoC buffers (DA
 
 subcommands:
   run     one scenario under one policy    [--cores --vcs --rate --policy --warmup --measure --invariants --csv]
+                                           [--trace-out FILE --metrics-out FILE --sample-period N]
   sweep   gap vs injection rate            [--cores --vcs --warmup --measure --invariants --jobs]
   record  record a synthetic trace         --out FILE [--cores --rate --cycles --seed]
   replay  replay a trace under a policy    --trace FILE [--cores --vcs --policy --invariants --csv]
+                                           [--trace-out FILE --metrics-out FILE --sample-period N]
+  stats   summarize a telemetry trace      --trace FILE (event counts, churn, latency, digest)
   area    print the §III-D area overhead report
   help    this text
 
 policies: baseline | rr | sw-nt | sw | sw-kN (e.g. sw-k2)
 invariant levels: off (default) | cheap | full — runtime protocol checks; violations exit nonzero
+telemetry: --trace-out writes a JSONL event trace, --metrics-out a per-port CSV series
 paper tables: see `cargo run -p nbti-noc-bench --bin table2|table3|table4|...`";
 
 fn main() -> ExitCode {
@@ -293,6 +448,7 @@ fn main() -> ExitCode {
             "sweep" => cmd_sweep(&args),
             "record" => cmd_record(&args),
             "replay" => cmd_replay(&args),
+            "stats" => cmd_stats(&args),
             "area" => cmd_area(),
             "help" | "--help" | "-h" => {
                 println!("{HELP}");

@@ -8,6 +8,8 @@
 //!
 //! * [`sim`] ([`noc_sim`]) — cycle-accurate 2D-mesh NoC simulator with
 //!   3-stage virtual-channel routers and per-VC power gating,
+//! * [`telemetry`] ([`noc_telemetry`]) — zero-cost-when-off event tracing,
+//!   periodic metrics sampling and the deterministic event-stream digest,
 //! * [`nbti`] ([`nbti_model`]) — NBTI physics: duty cycles, the long-term
 //!   reaction–diffusion ΔVth model, process variation and sensor models,
 //! * [`traffic`] ([`noc_traffic`]) — synthetic patterns and benchmark-profile
@@ -32,6 +34,7 @@
 pub use nbti_model as nbti;
 pub use noc_area as area;
 pub use noc_sim as sim;
+pub use noc_telemetry as telemetry;
 pub use noc_traffic as traffic;
 pub use sensorwise as policy;
 
@@ -42,6 +45,12 @@ pub mod prelude {
     };
     pub use noc_area::{analyze as analyze_area, AreaParams};
     pub use noc_sim::prelude::*;
+    // `noc_telemetry::TraceEvent` stays behind the `telemetry` module path:
+    // the traffic prelude already exports a `TraceEvent` (packet traces).
+    pub use noc_telemetry::{
+        read_jsonl, EventDigest, EventKind, MetricsSeries, TelemetryReport, TelemetrySpec,
+        WorkCounters,
+    };
     pub use noc_traffic::prelude::*;
     pub use sensorwise::{
         default_jobs, run_batch, run_experiment, validate_jobs, ExperimentConfig, ExperimentJob,

@@ -65,11 +65,29 @@ fn run_csv_emits_one_row_per_port() {
     assert!(ok, "{stdout}");
     let lines: Vec<&str> = stdout.lines().collect();
     assert_eq!(lines[0], "port,md_vc,duty_vc0,duty_vc1,flits");
-    // 2x2 mesh: 16 gateable ports.
-    assert_eq!(lines.len(), 1 + 16, "{stdout}");
-    for row in &lines[1..] {
+    // 2x2 mesh: 16 gateable ports, plus the latency summary footer.
+    assert_eq!(lines.len(), 1 + 16 + 1, "{stdout}");
+    for row in &lines[1..17] {
         assert_eq!(row.split(',').count(), 5, "bad row `{row}`");
     }
+    assert!(
+        lines[17].starts_with("# latency_cycles p50<="),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn run_reports_latency_percentiles() {
+    let (stdout, _, ok) = run(&[
+        "run", "--cores", "4", "--vcs", "2", "--rate", "0.1", "--policy", "rr", "--warmup",
+        "200", "--measure", "2000",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(
+        stdout.contains("latency percentiles: p50<="),
+        "{stdout}"
+    );
+    assert!(stdout.contains("p95<=") && stdout.contains("p99<=") && stdout.contains("max<="));
 }
 
 #[test]
@@ -114,6 +132,92 @@ fn sweep_rejects_zero_jobs_with_clear_error() {
     let (_, stderr, ok) = run(&["sweep", "--jobs", "0"]);
     assert!(!ok);
     assert!(stderr.contains("--jobs must be at least 1"), "{stderr}");
+}
+
+/// The shared arguments of the telemetry round-trip tests below.
+const TELEMETRY_RUN: &[&str] = &[
+    "run", "--cores", "4", "--vcs", "2", "--rate", "0.1", "--policy", "sw", "--warmup", "200",
+    "--measure", "2000",
+];
+
+#[test]
+fn run_writes_trace_and_metrics_and_stats_matches_digest() {
+    let dir = std::env::temp_dir().join("nbti-noc-cli-telemetry");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("events.jsonl");
+    let metrics = dir.join("metrics.csv");
+    let mut args = TELEMETRY_RUN.to_vec();
+    args.extend([
+        "--trace-out",
+        trace.to_str().unwrap(),
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+        "--sample-period",
+        "500",
+    ]);
+    let (stdout, stderr, ok) = run(&args);
+    assert!(ok, "{stdout}\n{stderr}");
+    assert!(stderr.contains("wrote"), "{stderr}");
+
+    // The run reports the whole-stream digest; stats re-hashes the file.
+    let digest = stderr
+        .lines()
+        .find_map(|l| l.split("digest ").nth(1))
+        .map(|d| d.trim_end_matches(')').to_string())
+        .expect("run reports a digest");
+    let (stats, _, ok) = run(&["stats", "--trace", trace.to_str().unwrap()]);
+    assert!(ok, "{stats}");
+    assert!(stats.contains(&format!("digest: {digest}")), "{stats}");
+    assert!(stats.contains("event counts:"), "{stats}");
+    assert!(stats.contains("gating churn per port"), "{stats}");
+    assert!(stats.contains("latency: p50"), "{stats}");
+
+    let csv = std::fs::read_to_string(&metrics).unwrap();
+    let mut lines = csv.lines();
+    assert_eq!(
+        lines.next().unwrap(),
+        "cycle,port,duty_percent,occupancy,churn,powered_vcs,delta_vth_mv"
+    );
+    // (200 + 2000) / 500 sampling points, one row per port.
+    assert_eq!(lines.count(), 4 * 16, "{csv}");
+
+    std::fs::remove_file(trace).ok();
+    std::fs::remove_file(metrics).ok();
+}
+
+#[test]
+fn telemetry_does_not_perturb_results_and_digest_is_reproducible() {
+    let dir = std::env::temp_dir().join("nbti-noc-cli-telemetry-det");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (plain, _, ok) = run(TELEMETRY_RUN);
+    assert!(ok, "{plain}");
+    let mut digests = Vec::new();
+    for name in ["a.jsonl", "b.jsonl"] {
+        let trace = dir.join(name);
+        let mut args = TELEMETRY_RUN.to_vec();
+        args.extend(["--trace-out", trace.to_str().unwrap()]);
+        let (stdout, stderr, ok) = run(&args);
+        assert!(ok, "{stdout}\n{stderr}");
+        assert_eq!(plain, stdout, "tracing must not change the port table");
+        let (stats, _, ok) = run(&["stats", "--trace", trace.to_str().unwrap()]);
+        assert!(ok, "{stats}");
+        digests.push(
+            stats
+                .lines()
+                .find_map(|l| l.strip_prefix("digest: "))
+                .expect("stats prints a digest")
+                .to_string(),
+        );
+        std::fs::remove_file(trace).ok();
+    }
+    assert_eq!(digests[0], digests[1], "same config, same event stream");
+}
+
+#[test]
+fn stats_rejects_a_missing_trace() {
+    let (_, stderr, ok) = run(&["stats", "--trace", "/nonexistent/trace.jsonl"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"), "{stderr}");
 }
 
 #[test]

@@ -7,8 +7,11 @@
 //! traffic spec — scheduling can never leak into results.
 
 use proptest::prelude::*;
+use sensorwise::experiment::SyntheticScenario;
 use sensorwise::sweep::{gap_peak, gap_sweep_jobs, saturation_rate_jobs, SweepPoint};
-use sensorwise::{ExperimentConfig, ExperimentJob, PolicyKind, TrafficSpec};
+use sensorwise::{
+    run_batch, ExperimentConfig, ExperimentJob, PolicyKind, TelemetrySpec, TrafficSpec,
+};
 
 /// The ISSUE's headline regression: `gap_sweep` on one worker and on four
 /// workers must produce bit-identical `SweepPoint` vectors for the same
@@ -26,6 +29,41 @@ fn gap_sweep_is_bit_identical_for_jobs_1_and_4() {
         assert_eq!(a.gap.to_bits(), b.gap.to_bits());
         assert_eq!(a.sw_latency.to_bits(), b.sw_latency.to_bits());
         assert_eq!(a.sw_throughput.to_bits(), b.sw_throughput.to_bits());
+    }
+}
+
+/// The telemetry extension of the same contract: the event-stream digest,
+/// work counters and sampled series are bit-identical for any worker
+/// count.
+#[test]
+fn telemetry_digest_is_bit_identical_for_jobs_1_and_4() {
+    let mk = || -> Vec<ExperimentJob> {
+        [PolicyKind::RrNoSensor, PolicyKind::SensorWise]
+            .into_iter()
+            .map(|policy| {
+                let mut job = SyntheticScenario {
+                    cores: 4,
+                    vcs: 2,
+                    injection_rate: 0.15,
+                }
+                .job(policy, 200, 2_000);
+                job.cfg = job.cfg.with_telemetry(TelemetrySpec {
+                    trace: true,
+                    trace_capacity: 0,
+                    sample_period: 500,
+                });
+                job
+            })
+            .collect()
+    };
+    let serial = run_batch(&mk(), 1);
+    let pooled = run_batch(&mk(), 4);
+    assert_eq!(serial.len(), pooled.len());
+    for (a, b) in serial.iter().zip(&pooled) {
+        assert!(a.trace_digest().is_some(), "trace was requested");
+        assert_eq!(a.trace_digest(), b.trace_digest());
+        assert_eq!(a.work, b.work);
+        assert_eq!(a.telemetry, b.telemetry, "events and series both match");
     }
 }
 

@@ -1,0 +1,13 @@
+//! Lint fixture: a telemetry sink that breaks the determinism contract.
+//!
+//! Sinks sit on the simulation path, so they are scanned like the
+//! simulator itself. Must trigger `no-unordered-map` once (unordered event
+//! index) and `no-wall-clock` once (host-time stamping).
+
+pub struct LeakySink {
+    pub by_port: std::collections::HashMap<String, u64>,
+}
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -51,6 +51,7 @@ fn in_sim_or_sweep_code(path: &str) -> bool {
         "crates/nbti/",
         "crates/core/",
         "crates/traffic/",
+        "crates/telemetry/",
         "crates/area/",
         "src/",
     ]
@@ -488,15 +489,18 @@ fn g() { maybe.unwrap(); }
         assert_eq!(hits.len(), 1, "{hits:?}");
     }
 
-    /// The fixture set is the lint's end-to-end self-test: each rule must
-    /// fire exactly once across `tools/lint/fixtures/`.
+    /// The fixture set is the lint's end-to-end self-test: every rule
+    /// fires across `tools/lint/fixtures/` with a known multiplicity (the
+    /// telemetry fixture adds a second `no-unordered-map` and
+    /// `no-wall-clock` hit; every other rule fires exactly once).
     #[test]
-    fn fixtures_trigger_each_rule_exactly_once() {
+    fn fixtures_trigger_every_rule_with_known_multiplicity() {
         let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
         let findings = scan_root(&root);
         let mut rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
         rules.sort_unstable();
         let mut expected: Vec<&str> = RULES.iter().map(|r| r.id).collect();
+        expected.extend(["no-unordered-map", "no-wall-clock"]);
         expected.sort_unstable();
         assert_eq!(rules, expected, "findings: {findings:#?}");
     }
