@@ -1,0 +1,158 @@
+//! Service throughput bench: jobs/sec and request-latency percentiles
+//! through the full HTTP path, appended to `BENCH_service.json`.
+//!
+//! An in-process server (real sockets on an ephemeral port) is driven by
+//! concurrent submitters; every job runs the standard 4-core scenario.
+//! Each invocation appends one entry to the trajectory file, so regressions
+//! in the serving layer show up as a drop between consecutive runs.
+//!
+//! Usage: `cargo run --release -p nbti-noc-bench --bin service_throughput`
+//! `[-- --count N --workers N --queue-depth N --concurrency N --measure N]`
+
+use noc_service::{clock, Server, ServiceClient, ServiceConfig};
+use sensorwise::{parallel_map, spec_to_json, PolicyKind, SyntheticScenario};
+use std::fs;
+use std::path::Path;
+
+struct BenchConfig {
+    count: usize,
+    workers: usize,
+    queue_depth: usize,
+    concurrency: usize,
+    measure: u64,
+}
+
+fn parse_args() -> BenchConfig {
+    let mut cfg = BenchConfig {
+        count: 24,
+        workers: 4,
+        queue_depth: 8,
+        concurrency: 8,
+        measure: 2_000,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let value = it.next().map(|v| v.as_str()).unwrap_or("");
+        match arg.as_str() {
+            "--count" => cfg.count = value.parse().expect("--count"),
+            "--workers" => cfg.workers = value.parse().expect("--workers"),
+            "--queue-depth" => cfg.queue_depth = value.parse().expect("--queue-depth"),
+            "--concurrency" => cfg.concurrency = value.parse().expect("--concurrency"),
+            "--measure" => cfg.measure = value.parse().expect("--measure"),
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+    cfg
+}
+
+/// Nearest-rank percentile of a sorted slice.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Appends `entry` to the JSON array in `path`, creating it on first run.
+fn append_entry(path: &Path, entry: &str) {
+    let body = match fs::read_to_string(path) {
+        Ok(existing) => {
+            let trimmed = existing.trim_end().trim_end_matches(']').trim_end();
+            let trimmed = trimmed.trim_end_matches(',');
+            format!("{trimmed},\n  {entry}\n]\n")
+        }
+        Err(_) => format!("[\n  {entry}\n]\n"),
+    };
+    fs::write(path, body).expect("write BENCH_service.json");
+}
+
+/// Entries already recorded, for the monotone run index.
+fn existing_runs(path: &Path) -> u64 {
+    fs::read_to_string(path)
+        .map(|s| s.matches("\"run\":").count() as u64)
+        .unwrap_or(0)
+}
+
+fn main() {
+    let bench = parse_args();
+    let server = Server::start(&ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: bench.workers,
+        queue_depth: bench.queue_depth,
+        job_timeout_ms: 0,
+    })
+    .expect("ephemeral bind");
+    let client = ServiceClient::new(server.local_addr().to_string());
+
+    let scenario = SyntheticScenario {
+        cores: 4,
+        vcs: 2,
+        injection_rate: 0.15,
+    };
+    let specs: Vec<String> = (0..bench.count)
+        .map(|i| {
+            let mut job = scenario.job(PolicyKind::SensorWise, 200, bench.measure);
+            job.cfg.telemetry.trace = true;
+            job.traffic = job.traffic.with_seed(1 + i as u64);
+            spec_to_json(&job).expect("servable spec")
+        })
+        .collect();
+
+    let started = clock::now();
+    let per_job: Vec<Vec<u64>> = parallel_map(&specs, bench.concurrency, |_, spec| {
+        let mut latencies = Vec::new();
+        let (id, _, submit_lat) = client.submit_with_retry(spec, 10_000).expect("submits");
+        latencies.extend(submit_lat);
+        loop {
+            let probe = clock::now();
+            let status = client.status(id).expect("status");
+            latencies.push(clock::millis_since(probe));
+            if status.is_terminal() {
+                assert_eq!(status.status, "done", "bench job must complete");
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let probe = clock::now();
+        client
+            .result(id)
+            .expect("result")
+            .expect("done job serves a result");
+        latencies.push(clock::millis_since(probe));
+        latencies
+    });
+    let elapsed_ms = clock::millis_since(started).max(1);
+
+    server.request_shutdown(false);
+    let report = server.wait();
+    assert_eq!(report.completed as usize, bench.count, "{report:?}");
+    assert!(report.accounts_for_all(), "{report:?}");
+
+    let mut latencies: Vec<u64> = per_job.into_iter().flatten().collect();
+    latencies.sort_unstable();
+    let requests = latencies.len();
+    let jobs_per_sec = bench.count as f64 * 1_000.0 / elapsed_ms as f64;
+    let p50 = percentile(&latencies, 0.5);
+    let p99 = percentile(&latencies, 0.99);
+
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_service.json");
+    let run = existing_runs(&out) + 1;
+    let entry = format!(
+        "{{\"run\":{run},\"jobs\":{},\"workers\":{},\"queue_depth\":{},\"concurrency\":{},\
+         \"measure_cycles\":{},\"elapsed_ms\":{elapsed_ms},\"jobs_per_sec\":{jobs_per_sec:.1},\
+         \"requests\":{requests},\"request_p50_ms\":{p50},\"request_p99_ms\":{p99},\
+         \"rejected_busy\":{}}}",
+        bench.count,
+        bench.workers,
+        bench.queue_depth,
+        bench.concurrency,
+        bench.measure,
+        report.rejected_busy
+    );
+    append_entry(&out, &entry);
+    println!(
+        "service_throughput: {} jobs in {elapsed_ms} ms ({jobs_per_sec:.1} jobs/s), \
+         {requests} requests, p50 {p50} ms, p99 {p99} ms, {} busy rejections",
+        bench.count, report.rejected_busy
+    );
+    println!("appended run {run} to {}", out.display());
+}

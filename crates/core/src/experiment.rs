@@ -33,6 +33,12 @@ use noc_telemetry::{
 };
 use noc_traffic::source::{inject_from, TrafficSource};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// How often (in cycles) a cancellable run polls its abort flag. Power of
+/// two so the check compiles to a mask; coarse enough to be invisible in
+/// profiles, fine enough that a 2×2 mesh aborts within a millisecond.
+pub const CANCEL_CHECK_PERIOD: u64 = 1024;
 
 /// Configuration of one experiment run.
 #[derive(Debug, Clone)]
@@ -225,15 +231,38 @@ impl ExperimentResult {
 ///
 /// Panics if the network configuration is invalid.
 pub fn run_experiment(cfg: &ExperimentConfig, traffic: &mut dyn TrafficSource) -> ExperimentResult {
+    static NEVER: AtomicBool = AtomicBool::new(false);
+    match run_experiment_cancellable(cfg, traffic, &NEVER) {
+        Some(result) => result,
+        // The flag is never set, so the run always completes.
+        None => unreachable!("uncancellable run reported cancellation"),
+    }
+}
+
+/// Runs one experiment like [`run_experiment`], polling `cancel` every
+/// [`CANCEL_CHECK_PERIOD`] cycles. Returns `None` when the flag was
+/// observed set — the partial run is discarded, so cancellation can never
+/// leak scheduling into results. This is the hook the serving layer uses
+/// for job cancellation and wall-clock timeouts: the clock lives with the
+/// caller, the engine only ever sees a flag.
+///
+/// # Panics
+///
+/// Panics if the network configuration is invalid.
+pub fn run_experiment_cancellable(
+    cfg: &ExperimentConfig,
+    traffic: &mut dyn TrafficSource,
+    cancel: &AtomicBool,
+) -> Option<ExperimentResult> {
     // Dispatch on the sink type here so the common no-trace path
     // monomorphizes with `NullSink` and keeps zero tracing overhead.
     if cfg.telemetry.trace {
         let sink = RecordSink::with_capacity(cfg.telemetry.trace_capacity);
         let net = Network::with_sink(cfg.noc.clone(), sink).expect("valid NoC configuration");
-        dispatch_sensor(cfg, traffic, net)
+        dispatch_sensor(cfg, traffic, net, cancel)
     } else {
         let net = Network::new(cfg.noc.clone()).expect("valid NoC configuration");
-        dispatch_sensor(cfg, traffic, net)
+        dispatch_sensor(cfg, traffic, net, cancel)
     }
 }
 
@@ -242,7 +271,8 @@ fn dispatch_sensor<T: TraceSink>(
     cfg: &ExperimentConfig,
     traffic: &mut dyn TrafficSource,
     net: Network<T>,
-) -> ExperimentResult {
+    cancel: &AtomicBool,
+) -> Option<ExperimentResult> {
     let port_ids: Vec<PortId> = net.port_ids().to_vec();
     let mut pv = ProcessVariation::paper_45nm(cfg.pv_seed);
     match cfg.sensor {
@@ -253,7 +283,7 @@ fn dispatch_sensor<T: TraceSink>(
                 &mut pv,
                 cfg.model,
             );
-            run_loop(cfg, traffic, net, port_ids, monitor)
+            run_loop(cfg, traffic, net, port_ids, monitor, cancel)
         }
         SensorModel::Quantized {
             lsb,
@@ -270,7 +300,7 @@ fn dispatch_sensor<T: TraceSink>(
                 period,
                 cfg.pv_seed ^ 0x5E45_0B5E,
             );
-            run_loop(cfg, traffic, net, port_ids, monitor)
+            run_loop(cfg, traffic, net, port_ids, monitor, cancel)
         }
     }
 }
@@ -282,7 +312,8 @@ fn run_loop<S: NbtiSensor, T: TraceSink>(
     mut net: Network<T>,
     port_ids: Vec<PortId>,
     mut monitor: NbtiMonitor<S>,
-) -> ExperimentResult {
+    cancel: &AtomicBool,
+) -> Option<ExperimentResult> {
     let mut policies: Vec<Box<dyn GatingPolicy>> = port_ids
         .iter()
         .map(|_| cfg.policy.build(cfg.rr_rotation_period))
@@ -313,6 +344,9 @@ fn run_loop<S: NbtiSensor, T: TraceSink>(
     });
     let mut churn_at_sample: Vec<u64> = vec![0; port_ids.len()];
     for cycle in 0..total {
+        if cycle % CANCEL_CHECK_PERIOD == 0 && cancel.load(Ordering::Relaxed) {
+            return None;
+        }
         if uses_sensors && cycle % md_period == 0 {
             for (i, &pid) in port_ids.iter().enumerate() {
                 let md = monitor.most_degraded(pid);
@@ -422,7 +456,7 @@ fn run_loop<S: NbtiSensor, T: TraceSink>(
         trace: net.trace_mut().harvest(),
         series,
     });
-    ExperimentResult {
+    Some(ExperimentResult {
         policy: cfg.policy,
         measured_cycles: cfg.measure_cycles,
         ports,
@@ -431,7 +465,7 @@ fn run_loop<S: NbtiSensor, T: TraceSink>(
         violations,
         work: net.work_counters() + engine_work,
         telemetry,
-    }
+    })
 }
 
 /// Load calibration between the paper's Garnet/GEM5 setup and this
@@ -718,6 +752,28 @@ mod tests {
         // Whole-stream digest is independent of ring capacity and sampler.
         assert_eq!(traced.trace_digest(), again.trace_digest());
         assert!(traced.trace_digest().is_some());
+    }
+
+    #[test]
+    fn cancellable_run_completes_when_never_cancelled_and_aborts_when_set() {
+        let noc = NocConfig::paper_synthetic(4, 2);
+        let mesh = noc_sim::topology::Mesh2D::new(2, 2);
+        let mut traffic = SyntheticTraffic::uniform(mesh, 0.1, 5, 3);
+        let cfg = ExperimentConfig::new(noc, PolicyKind::SensorWise).with_cycles(200, 2_000);
+        let never = AtomicBool::new(false);
+        let full = run_experiment_cancellable(&cfg, &mut traffic, &never)
+            .expect("unset flag never cancels");
+        // Same config through the plain entry point: byte-identical.
+        let mesh = noc_sim::topology::Mesh2D::new(2, 2);
+        let mut traffic = SyntheticTraffic::uniform(mesh, 0.1, 5, 3);
+        let plain = run_experiment(&cfg, &mut traffic);
+        assert_eq!(full.net, plain.net);
+        assert_eq!(full.ports, plain.ports);
+
+        let mesh = noc_sim::topology::Mesh2D::new(2, 2);
+        let mut traffic = SyntheticTraffic::uniform(mesh, 0.1, 5, 3);
+        let already = AtomicBool::new(true);
+        assert!(run_experiment_cancellable(&cfg, &mut traffic, &already).is_none());
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //!   ten-year `Vth` saving versus the baseline (E5), and the cooperative
 //!   gain of traffic information (E6),
 //! * [`sweep`] — gap-versus-load sweeps and saturation-point analysis,
+//! * [`codec`] — the wire codec: one JSON schema for experiment specs and
+//!   results shared by the CLI and the `noc-service` HTTP API,
 //! * [`parallel`] — the deterministic parallel experiment engine every
 //!   swept artifact fans out through: bounded worker pool, results in
 //!   input order, bit-identical for any worker count.
@@ -46,6 +48,7 @@
 )]
 
 pub mod analysis;
+pub mod codec;
 pub mod experiment;
 pub mod modelcheck;
 pub mod monitor;
@@ -54,9 +57,12 @@ pub mod policy;
 pub mod sweep;
 pub mod tables;
 
+pub use codec::{
+    result_to_json, spec_from_json, spec_to_json, CodecError, JsonValue, WirePort, WireResult,
+};
 pub use experiment::{
-    run_experiment, ExperimentConfig, ExperimentResult, PortResult, SensorModel, SyntheticScenario,
-    LOAD_CALIBRATION,
+    run_experiment, run_experiment_cancellable, ExperimentConfig, ExperimentResult, PortResult,
+    SensorModel, SyntheticScenario, LOAD_CALIBRATION,
 };
 pub use modelcheck::{model_check, model_check_default, CheckCase, CheckOutcome, ModelCheckReport};
 pub use monitor::NbtiMonitor;

@@ -166,6 +166,19 @@ impl TrafficSpec {
             TrafficSpec::Mix { mix, seed } => Box::new(AppTraffic::new(mesh, mix, *seed)),
         }
     }
+
+    /// The same recipe under a different injection seed — how batch
+    /// submitters derive independent replicas of one scenario.
+    #[must_use]
+    pub fn with_seed(&self, new_seed: u64) -> TrafficSpec {
+        let mut spec = self.clone();
+        match &mut spec {
+            TrafficSpec::Uniform { seed, .. }
+            | TrafficSpec::Pattern { seed, .. }
+            | TrafficSpec::Mix { seed, .. } => *seed = new_seed,
+        }
+        spec
+    }
 }
 
 /// One independent experiment: a configuration plus the traffic recipe
@@ -183,6 +196,17 @@ impl ExperimentJob {
     pub fn run(&self) -> ExperimentResult {
         let mut traffic = self.traffic.build(&self.cfg.noc);
         run_experiment(&self.cfg, traffic.as_mut())
+    }
+
+    /// Runs this job, polling `cancel` periodically; `None` when the flag
+    /// was observed set (see
+    /// [`crate::experiment::run_experiment_cancellable`]).
+    pub fn run_cancellable(
+        &self,
+        cancel: &std::sync::atomic::AtomicBool,
+    ) -> Option<ExperimentResult> {
+        let mut traffic = self.traffic.build(&self.cfg.noc);
+        crate::experiment::run_experiment_cancellable(&self.cfg, traffic.as_mut(), cancel)
     }
 }
 

@@ -73,6 +73,36 @@ impl PolicyKind {
         }
     }
 
+    /// Parses a policy name: the paper label (`sensor-wise`), the CLI
+    /// shorthand (`sw`, `rr`, `sw-nt`) or the `sw-kN` extension form.
+    /// Every front-end (CLI flags, wire specs) funnels through here so the
+    /// accepted names stay in sync.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the accepted forms.
+    pub fn parse(name: &str) -> Result<PolicyKind, String> {
+        match name {
+            "baseline" => Ok(PolicyKind::Baseline),
+            "rr" | "rr-no-sensor" => Ok(PolicyKind::RrNoSensor),
+            "sw-nt" | "sensor-wise-no-traffic" => Ok(PolicyKind::SensorWiseNoTraffic),
+            "sw" | "sensor-wise" => Ok(PolicyKind::SensorWise),
+            other => {
+                let k = other
+                    .strip_prefix("sw-k")
+                    .or_else(|| other.strip_prefix("sensor-wise-k"));
+                if let Some(k) = k {
+                    let k: u8 = k.parse().map_err(|e| format!("bad k in `{other}`: {e}"))?;
+                    Ok(PolicyKind::SensorWiseK(k))
+                } else {
+                    Err(format!(
+                        "unknown policy `{other}` (try baseline, rr, sw-nt, sw, sw-k2)"
+                    ))
+                }
+            }
+        }
+    }
+
     /// The paper's name for the policy.
     pub fn label(self) -> String {
         match self {
@@ -567,5 +597,22 @@ mod tests {
     #[should_panic(expected = "rotation period")]
     fn rr_zero_period_panics() {
         let _ = RrNoSensorPolicy::new(0);
+    }
+
+    #[test]
+    fn parse_accepts_labels_and_shorthands() {
+        for kind in PolicyKind::ALL {
+            assert_eq!(PolicyKind::parse(&kind.label()), Ok(kind));
+        }
+        assert_eq!(PolicyKind::parse("rr"), Ok(PolicyKind::RrNoSensor));
+        assert_eq!(PolicyKind::parse("sw"), Ok(PolicyKind::SensorWise));
+        assert_eq!(PolicyKind::parse("sw-nt"), Ok(PolicyKind::SensorWiseNoTraffic));
+        assert_eq!(PolicyKind::parse("sw-k3"), Ok(PolicyKind::SensorWiseK(3)));
+        assert_eq!(
+            PolicyKind::parse("sensor-wise-k2"),
+            Ok(PolicyKind::SensorWiseK(2))
+        );
+        assert!(PolicyKind::parse("magic").unwrap_err().contains("unknown policy"));
+        assert!(PolicyKind::parse("sw-kx").unwrap_err().contains("bad k"));
     }
 }

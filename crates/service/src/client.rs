@@ -1,0 +1,275 @@
+//! A small blocking client for the job API.
+//!
+//! Used by `nbti-noc submit`, the integration tests, and the throughput
+//! bench. Every call opens one connection (the server closes after each
+//! response) and reports its wall-clock latency in milliseconds so
+//! callers can build request-latency distributions without touching the
+//! clock themselves.
+
+use crate::clock;
+use crate::http::http_request;
+use sensorwise::codec::{JsonValue, WireResult};
+use std::thread;
+use std::time::Duration;
+
+/// Outcome of one submission attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Submitted {
+    /// `202`: the job is queued under this id.
+    Accepted {
+        /// The server-assigned job id.
+        id: u64,
+    },
+    /// `429`: backpressure; retry after the hinted delay.
+    Busy {
+        /// The server's `Retry-After` hint, seconds.
+        retry_after_secs: u64,
+    },
+    /// Any other status (bad spec, shutting down, ...).
+    Refused {
+        /// The HTTP status code.
+        status: u16,
+        /// The server's error body.
+        error: String,
+    },
+}
+
+/// A job's status as reported by `GET /jobs/{id}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobStatus {
+    /// The job id.
+    pub id: u64,
+    /// The wire state name (`queued`, `running`, `done`, ...).
+    pub status: String,
+    /// The event-stream digest once the job is done and was traced.
+    pub trace_digest: Option<u64>,
+    /// Failure detail for failed jobs.
+    pub error: Option<String>,
+}
+
+impl JobStatus {
+    /// Whether the job can make no further progress.
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self.status.as_str(), "queued" | "running")
+    }
+}
+
+/// The blocking API client.
+#[derive(Debug, Clone)]
+pub struct ServiceClient {
+    addr: String,
+}
+
+impl ServiceClient {
+    /// A client for the server at `addr` (`host:port`).
+    pub fn new(addr: impl Into<String>) -> ServiceClient {
+        ServiceClient { addr: addr.into() }
+    }
+
+    /// The server address this client targets.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    fn timed(
+        &self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> Result<(crate::http::ClientResponse, u64), String> {
+        let start = clock::now();
+        let response = http_request(&self.addr, method, path, body)?;
+        Ok((response, clock::millis_since(start)))
+    }
+
+    /// Submits one spec. Returns the outcome and the request latency in
+    /// milliseconds.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only; HTTP-level refusals are [`Submitted`]
+    /// variants.
+    pub fn submit(&self, spec_json: &str) -> Result<(Submitted, u64), String> {
+        let (response, latency_ms) = self.timed("POST", "/jobs", spec_json)?;
+        let outcome = match response.status {
+            202 => {
+                let id = JsonValue::parse(&response.body)
+                    .ok()
+                    .as_ref()
+                    .and_then(|v| v.get("id"))
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| format!("202 without an id: {}", response.body))?;
+                Submitted::Accepted { id }
+            }
+            429 => Submitted::Busy {
+                retry_after_secs: response.retry_after_secs.unwrap_or(1),
+            },
+            status => Submitted::Refused {
+                status,
+                error: response.body,
+            },
+        };
+        Ok((outcome, latency_ms))
+    }
+
+    /// Submits with bounded backpressure retries. Returns the job id, the
+    /// number of `429`s absorbed, and the latencies of every attempt.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, non-busy refusals, or `max_retries` exhausted.
+    pub fn submit_with_retry(
+        &self,
+        spec_json: &str,
+        max_retries: u32,
+    ) -> Result<(u64, u32, Vec<u64>), String> {
+        let mut latencies = Vec::new();
+        let mut busy = 0u32;
+        loop {
+            let (outcome, latency_ms) = self.submit(spec_json)?;
+            latencies.push(latency_ms);
+            match outcome {
+                Submitted::Accepted { id } => return Ok((id, busy, latencies)),
+                Submitted::Busy { retry_after_secs } => {
+                    busy += 1;
+                    if busy > max_retries {
+                        return Err(format!("queue still full after {max_retries} retries"));
+                    }
+                    // Back off well under the hinted second: the hint is
+                    // an upper bound and jobs drain in milliseconds.
+                    let wait = (retry_after_secs.clamp(1, 5) * 50).min(250);
+                    thread::sleep(Duration::from_millis(wait));
+                }
+                Submitted::Refused { status, error } => {
+                    return Err(format!("submission refused ({status}): {error}"));
+                }
+            }
+        }
+    }
+
+    /// Fetches a job's status.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, unknown ids, or unparseable bodies.
+    pub fn status(&self, id: u64) -> Result<JobStatus, String> {
+        let (response, _) = self.timed("GET", &format!("/jobs/{id}"), "")?;
+        if response.status != 200 {
+            return Err(format!("status {id}: HTTP {}: {}", response.status, response.body));
+        }
+        let v = JsonValue::parse(&response.body).map_err(|e| e.to_string())?;
+        let status = v
+            .get("status")
+            .and_then(JsonValue::as_str)
+            .ok_or("status response without a status field")?
+            .to_string();
+        let trace_digest = match v.get("trace_digest").and_then(JsonValue::as_str) {
+            Some(hex) => Some(
+                u64::from_str_radix(hex, 16).map_err(|_| format!("bad digest hex `{hex}`"))?,
+            ),
+            None => None,
+        };
+        let error = v
+            .get("error")
+            .and_then(JsonValue::as_str)
+            .map(str::to_string);
+        Ok(JobStatus {
+            id,
+            status,
+            trace_digest,
+            error,
+        })
+    }
+
+    /// Fetches a finished job's result; `Ok(None)` while it is still
+    /// queued or running.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, unknown ids, or undecodable results.
+    pub fn result(&self, id: u64) -> Result<Option<WireResult>, String> {
+        let (response, _) = self.timed("GET", &format!("/jobs/{id}/result"), "")?;
+        match response.status {
+            200 => WireResult::from_json(&response.body)
+                .map(Some)
+                .map_err(|e| e.to_string()),
+            409 => Ok(None),
+            status => Err(format!("result {id}: HTTP {status}: {}", response.body)),
+        }
+    }
+
+    /// Polls until the job reaches a terminal state, then returns its
+    /// result. Bounded: gives up after `max_polls` probes of `poll_ms`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, non-`done` terminal states, or poll exhaustion.
+    pub fn wait_result(&self, id: u64, poll_ms: u64, max_polls: u32) -> Result<WireResult, String> {
+        for _ in 0..max_polls {
+            let status = self.status(id)?;
+            if status.is_terminal() {
+                if status.status != "done" {
+                    return Err(format!(
+                        "job {id} ended {}{}",
+                        status.status,
+                        status
+                            .error
+                            .map(|e| format!(": {e}"))
+                            .unwrap_or_default()
+                    ));
+                }
+                return self
+                    .result(id)?
+                    .ok_or_else(|| format!("job {id} done but no result served"));
+            }
+            thread::sleep(Duration::from_millis(poll_ms.max(1)));
+        }
+        Err(format!("job {id} still not terminal after {max_polls} polls"))
+    }
+
+    /// Requests job cancellation; returns the post-request state.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or unknown ids.
+    pub fn cancel(&self, id: u64) -> Result<String, String> {
+        let (response, _) = self.timed("DELETE", &format!("/jobs/{id}"), "")?;
+        if response.status != 200 {
+            return Err(format!("cancel {id}: HTTP {}: {}", response.status, response.body));
+        }
+        JsonValue::parse(&response.body)
+            .ok()
+            .as_ref()
+            .and_then(|v| v.get("status"))
+            .and_then(JsonValue::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("cancel response unparseable: {}", response.body))
+    }
+
+    /// Fetches the `/stats` snapshot as parsed JSON.
+    ///
+    /// # Errors
+    ///
+    /// Transport or parse failures.
+    pub fn stats(&self) -> Result<JsonValue, String> {
+        let (response, _) = self.timed("GET", "/stats", "")?;
+        if response.status != 200 {
+            return Err(format!("stats: HTTP {}", response.status));
+        }
+        JsonValue::parse(&response.body).map_err(|e| e.to_string())
+    }
+
+    /// Asks the server to shut down (drain, or abort when `force`).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an unexpected status.
+    pub fn shutdown(&self, force: bool) -> Result<(), String> {
+        let body = if force { "{\"force\":true}" } else { "" };
+        let (response, _) = self.timed("POST", "/shutdown", body)?;
+        if response.status != 200 {
+            return Err(format!("shutdown: HTTP {}: {}", response.status, response.body));
+        }
+        Ok(())
+    }
+}

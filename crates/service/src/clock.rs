@@ -1,0 +1,42 @@
+//! The service's wall-clock boundary.
+//!
+//! The deterministic core must never read real time (the `no-wall-clock`
+//! lint enforces it), but a server has obligations the simulation clock
+//! cannot express: job timeouts, `Retry-After` hints, request-latency
+//! accounting. Every real-time read in the serving layer goes through
+//! this module so the boundary stays auditable — the engine itself only
+//! ever sees an `AtomicBool` cancellation flag, set from here.
+
+use std::time::{Duration, Instant};
+
+/// The current instant.
+pub fn now() -> Instant {
+    // Results never depend on this read: timeouts only ever discard a run.
+    // lint:allow(no-wall-clock) the serving layer's one real-time source
+    Instant::now()
+}
+
+/// Milliseconds elapsed since `start`, saturating.
+pub fn millis_since(start: Instant) -> u64 {
+    now().saturating_duration_since(start).as_millis() as u64
+}
+
+/// A deadline `timeout_ms` from now; `None` when `timeout_ms` is zero
+/// (no timeout).
+pub fn deadline_after(timeout_ms: u64) -> Option<Instant> {
+    (timeout_ms > 0).then(|| now() + Duration::from_millis(timeout_ms))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadlines_and_elapsed() {
+        assert!(deadline_after(0).is_none());
+        let d = deadline_after(10_000).expect("nonzero timeout has a deadline");
+        assert!(d > now());
+        let m = millis_since(now());
+        assert!(m < 1_000, "fresh instant elapsed {m} ms");
+    }
+}

@@ -1,0 +1,260 @@
+//! A minimal HTTP/1.1 implementation on `std::net`.
+//!
+//! Only what the job API needs: one request per connection
+//! (`Connection: close`), `Content-Length` framing both ways, hard size
+//! limits so a misbehaving client cannot balloon server memory. No
+//! chunked encoding, no keep-alive, no TLS — the service targets trusted
+//! lab networks, and every avoided feature is an avoided dependency.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Largest accepted request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 8 * 1024;
+/// Largest accepted body; experiment specs are a few hundred bytes.
+const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The HTTP method, uppercased as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// The request target, e.g. `/jobs/3`.
+    pub path: String,
+    /// The decoded body (empty when none was sent).
+    pub body: String,
+}
+
+/// Reads one request from `stream`.
+///
+/// # Errors
+///
+/// Malformed request lines, over-limit heads or bodies, and I/O failures
+/// are all reported as strings; the caller answers with `400` and closes.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+    let (head, mut carry) = read_head(stream)?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or("empty request line")?
+        .to_string();
+    let path = parts.next().ok_or("request line has no target")?.to_string();
+    if !parts.next().is_some_and(|v| v.starts_with("HTTP/1.")) {
+        return Err(format!("not an HTTP/1.x request line: {request_line:?}"));
+    }
+
+    let mut content_length = 0usize;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad Content-Length: {:?}", value.trim()))?;
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(format!("body of {content_length} bytes exceeds limit"));
+    }
+
+    while carry.len() < content_length {
+        let mut buf = [0u8; 4096];
+        let n = stream
+            .read(&mut buf)
+            .map_err(|e| format!("read body: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-body".to_string());
+        }
+        carry.extend_from_slice(&buf[..n]);
+    }
+    carry.truncate(content_length);
+    let body = String::from_utf8(carry).map_err(|_| "body is not UTF-8".to_string())?;
+    Ok(Request { method, path, body })
+}
+
+/// Reads up to and including the blank line; returns the head text and
+/// any body bytes already pulled off the socket.
+fn read_head(stream: &mut TcpStream) -> Result<(String, Vec<u8>), String> {
+    let mut buf = Vec::with_capacity(512);
+    loop {
+        let mut byte = [0u8; 256];
+        let n = stream
+            .read(&mut byte)
+            .map_err(|e| format!("read head: {e}"))?;
+        if n == 0 {
+            return Err("connection closed before request head".to_string());
+        }
+        buf.extend_from_slice(&byte[..n]);
+        if let Some(end) = find_head_end(&buf) {
+            let carry = buf[end + 4..].to_vec();
+            let head = String::from_utf8(buf[..end].to_vec())
+                .map_err(|_| "request head is not UTF-8".to_string())?;
+            return Ok((head, carry));
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(format!("request head exceeds {MAX_HEAD_BYTES} bytes"));
+        }
+    }
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a JSON response and flushes. `extra_headers` lets handlers add
+/// e.g. `Retry-After`. Write failures are ignored — the client is gone,
+/// and the job table, not the socket, is the source of truth.
+pub fn write_json_response(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) {
+    let mut out = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        reason(status),
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        out.push_str(name);
+        out.push_str(": ");
+        out.push_str(value);
+        out.push_str("\r\n");
+    }
+    out.push_str("\r\n");
+    out.push_str(body);
+    let _ = stream.write_all(out.as_bytes());
+    let _ = stream.flush();
+}
+
+/// A client-side response: status code and body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientResponse {
+    /// The HTTP status code.
+    pub status: u16,
+    /// The response body.
+    pub body: String,
+    /// The parsed `Retry-After` header, when present.
+    pub retry_after_secs: Option<u64>,
+}
+
+/// Performs one request against `addr` and reads the full response
+/// (the server always closes after responding).
+///
+/// # Errors
+///
+/// Connection, I/O and response-parse failures as strings.
+pub fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> Result<ClientResponse, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("write request: {e}"))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("read response: {e}"))?;
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> Result<ClientResponse, String> {
+    let end = find_head_end(raw).ok_or("response has no header terminator")?;
+    let head =
+        String::from_utf8(raw[..end].to_vec()).map_err(|_| "response head is not UTF-8")?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line: {status_line:?}"))?;
+    let mut retry_after_secs = None;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("retry-after") {
+                retry_after_secs = value.trim().parse().ok();
+            }
+        }
+    }
+    let body = String::from_utf8(raw[end + 4..].to_vec())
+        .map_err(|_| "response body is not UTF-8".to_string())?;
+    Ok(ClientResponse {
+        status,
+        body,
+        retry_after_secs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_response() {
+        let raw = b"HTTP/1.1 429 Too Many Requests\r\nRetry-After: 1\r\nContent-Length: 2\r\n\r\n{}";
+        let r = parse_response(raw).unwrap();
+        assert_eq!(r.status, 429);
+        assert_eq!(r.retry_after_secs, Some(1));
+        assert_eq!(r.body, "{}");
+    }
+
+    #[test]
+    fn rejects_garbage_responses() {
+        assert!(parse_response(b"not http").is_err());
+        assert!(parse_response(b"HTTP/1.1 abc\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn head_end_detection() {
+        assert_eq!(find_head_end(b"a\r\n\r\nbody"), Some(1));
+        assert_eq!(find_head_end(b"partial\r\n"), None);
+    }
+
+    #[test]
+    fn request_round_trip_over_a_real_socket() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let results = sensorwise::parallel_map(&[0usize, 1], 2, |_, &role| {
+            if role == 0 {
+                let (mut stream, _) = listener.accept().unwrap();
+                let req = read_request(&mut stream).unwrap();
+                write_json_response(&mut stream, 202, &[], "{\"ok\":true}");
+                format!("{} {} {}", req.method, req.path, req.body)
+            } else {
+                let r = http_request(&addr, "POST", "/jobs", "{\"x\":1}").unwrap();
+                format!("{} {}", r.status, r.body)
+            }
+        });
+        assert_eq!(results[0], "POST /jobs {\"x\":1}");
+        assert_eq!(results[1], "202 {\"ok\":true}");
+    }
+}

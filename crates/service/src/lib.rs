@@ -1,0 +1,47 @@
+//! # noc-service — serving deterministic experiments over HTTP
+//!
+//! A dependency-free subsystem (only `std::net`) that turns the
+//! `sensorwise` engine into a job service:
+//!
+//! * [`server`] — the HTTP/1.1 API: submit specs (`POST /jobs`), poll
+//!   (`GET /jobs/{id}`), fetch results (`GET /jobs/{id}/result`), cancel
+//!   (`DELETE /jobs/{id}`), observe (`GET /stats`), and shut down
+//!   (`POST /shutdown`),
+//! * [`queue`] — the bounded MPMC job queue; a full queue is surfaced to
+//!   clients as `429` + `Retry-After`, never a blocked handler,
+//! * [`jobs`] — the job table and lifecycle state machine; every accepted
+//!   job ends in exactly one terminal state the shutdown report accounts
+//!   for,
+//! * [`http`] — minimal HTTP framing (`Content-Length`, one request per
+//!   connection) shared by server and client,
+//! * [`client`] — a blocking client with per-request latency accounting,
+//! * [`clock`] — the serving layer's single wall-clock boundary.
+//!
+//! ## The determinism contract over the wire
+//!
+//! The server adds *scheduling* (queueing, worker assignment, timeouts)
+//! but no *behaviour*: a job's result — including its event-stream
+//! `trace_digest` — is bit-identical to running the same spec in-process
+//! or through `nbti-noc run`, for any `--workers` and any interleaving of
+//! submissions. Wall-clock time can only ever discard a run (timeout or
+//! cancellation), never alter one.
+
+#![deny(missing_debug_implementations)]
+#![warn(
+    clippy::semicolon_if_nothing_returned,
+    clippy::explicit_iter_loop,
+    clippy::redundant_closure_for_method_calls,
+    clippy::manual_let_else
+)]
+
+pub mod client;
+pub mod clock;
+pub mod http;
+pub mod jobs;
+pub mod queue;
+pub mod server;
+
+pub use client::{JobStatus, ServiceClient, Submitted};
+pub use jobs::{JobCounts, JobId, JobState};
+pub use queue::{BoundedQueue, PushError};
+pub use server::{Server, ServiceConfig, ShutdownReport};

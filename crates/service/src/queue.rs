@@ -1,0 +1,191 @@
+//! A bounded MPMC job queue with explicit backpressure.
+//!
+//! The submission path must never block an HTTP handler and never drop an
+//! accepted job, so the queue's contract is asymmetric:
+//!
+//! * [`BoundedQueue::try_push`] is non-blocking — a full queue is reported
+//!   immediately as [`PushError::Full`] and the server turns it into a
+//!   `429` with `Retry-After`. Backpressure is a first-class response,
+//!   not a wait.
+//! * [`BoundedQueue::pop`] blocks — workers park on a condvar until work
+//!   arrives or the queue is closed *and* drained, which is exactly the
+//!   graceful-shutdown drain semantics: closing stops producers, but
+//!   every item already accepted is still handed to a worker.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; retry later (backpressure).
+    Full,
+    /// The queue was closed (shutdown); no retries will succeed.
+    Closed,
+}
+
+#[derive(Debug)]
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer/multi-consumer FIFO.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    capacity: usize,
+    state: Mutex<State<T>>,
+    ready: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero — a zero-depth queue would reject
+    /// every submission.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be at least 1");
+        BoundedQueue {
+            capacity,
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        // A worker panicking mid-`pop` cannot corrupt a VecDeque of ids;
+        // recover the guard rather than poisoning the whole server.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Enqueues `item` without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`BoundedQueue::close`].
+    pub fn try_push(&self, item: T) -> Result<(), PushError> {
+        let mut s = self.lock();
+        if s.closed {
+            return Err(PushError::Closed);
+        }
+        if s.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        s.items.push_back(item);
+        drop(s);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available (FIFO) or the queue is closed and
+    /// empty (`None`): the worker-pool exit signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.lock();
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self
+                .ready
+                .wait(s)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the queue: pushes fail from now on, and poppers drain the
+    /// remaining items before observing `None`.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_and_backpressure() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn close_drains_then_signals_exit() {
+        let q = BoundedQueue::new(4);
+        q.try_push(10).unwrap();
+        q.close();
+        assert_eq!(q.try_push(11), Err(PushError::Closed));
+        assert_eq!(q.pop(), Some(10));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_wakes_blocked_consumers_via_parallel_map() {
+        // Two consumers block on an empty queue; a producer (the third
+        // mapped item) feeds and closes it. parallel_map is the
+        // lint-sanctioned thread pool for tests.
+        let q = Arc::new(BoundedQueue::new(4));
+        let roles = [0usize, 0, 1];
+        let got = sensorwise::parallel_map(&roles, 3, |_, &role| {
+            if role == 0 {
+                let mut taken = Vec::new();
+                while let Some(v) = q.pop() {
+                    taken.push(v);
+                }
+                taken
+            } else {
+                for v in 0..6 {
+                    while q.try_push(v) == Err(PushError::Full) {
+                        std::thread::yield_now();
+                    }
+                }
+                q.close();
+                Vec::new()
+            }
+        });
+        let mut all: Vec<i32> = got.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn zero_capacity_panics() {
+        let _: BoundedQueue<u64> = BoundedQueue::new(0);
+    }
+}

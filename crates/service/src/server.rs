@@ -1,0 +1,465 @@
+//! The experiment server: acceptor, worker pool, timeout supervisor.
+//!
+//! Thread layout (all fixed at startup — no per-request spawning):
+//!
+//! * **acceptor** — owns the listening socket, parses each request and
+//!   answers it inline. Submission is O(parse + enqueue), so one acceptor
+//!   thread keeps up with many clients; the expensive work happens on the
+//!   workers.
+//! * **workers** (`cfg.workers` of them) — block on the queue, claim jobs,
+//!   run them through the deterministic engine, record terminal states.
+//!   A panicking experiment marks its job `failed`; the worker survives.
+//! * **supervisor** — the only thread that watches the wall clock for
+//!   jobs: it sweeps deadlines and flips cancellation flags. The engine
+//!   itself never sees real time, which is what keeps served results
+//!   bit-identical to local runs.
+//!
+//! Shutdown: `request_shutdown(false)` stops *accepting* (new `POST
+//! /jobs` → `503`) and closes the queue, but the acceptor keeps answering
+//! status polls while the workers drain every accepted job;
+//! `request_shutdown(true)` additionally drops queued jobs and cancels
+//! running ones. [`Server::wait`] joins everything and reports what
+//! happened to every accepted job.
+
+use crate::clock;
+use crate::http::{read_request, write_json_response, Request};
+use crate::jobs::{JobCounts, JobState, JobTable};
+use crate::queue::{BoundedQueue, PushError};
+use sensorwise::codec::{json_string, result_to_json, spec_from_json, spec_to_json, JsonValue};
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// How long the acceptor sleeps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+/// How often the supervisor sweeps deadlines.
+const SUPERVISOR_POLL: Duration = Duration::from_millis(10);
+/// The `Retry-After` hint (seconds) sent with `429`.
+const RETRY_AFTER_SECS: &str = "1";
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Bind address, e.g. `127.0.0.1:0` for an ephemeral port.
+    pub addr: String,
+    /// Worker-pool size (≥ 1).
+    pub workers: usize,
+    /// Queue capacity (≥ 1); submissions beyond it get `429`.
+    pub queue_depth: usize,
+    /// Per-job wall-clock timeout in milliseconds; `0` disables.
+    pub job_timeout_ms: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_depth: 16,
+            job_timeout_ms: 0,
+        }
+    }
+}
+
+/// What happened to every job the server ever accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShutdownReport {
+    /// Jobs accepted with `202`.
+    pub accepted: u64,
+    /// Jobs that finished with a result.
+    pub completed: u64,
+    /// Jobs that panicked.
+    pub failed: u64,
+    /// Jobs cancelled by clients.
+    pub cancelled: u64,
+    /// Jobs aborted by the timeout supervisor.
+    pub timed_out: u64,
+    /// Jobs dropped by a force shutdown (always 0 on graceful drains).
+    pub dropped: u64,
+    /// Submissions refused with `429` (never accepted, never owed).
+    pub rejected_busy: u64,
+}
+
+impl ShutdownReport {
+    /// Whether every accepted job reached a terminal state — the drain
+    /// guarantee the integration tests pin down.
+    pub fn accounts_for_all(&self) -> bool {
+        self.completed + self.failed + self.cancelled + self.timed_out + self.dropped
+            == self.accepted
+    }
+}
+
+#[derive(Debug)]
+struct Shared {
+    queue: BoundedQueue<u64>,
+    table: JobTable,
+    /// `false` once shutdown starts: `POST /jobs` answers `503`.
+    accepting: AtomicBool,
+    /// Set by `POST /shutdown` and `request_shutdown`.
+    shutdown: AtomicBool,
+    /// Set with `shutdown` on force: queued jobs drop, running ones abort.
+    force: AtomicBool,
+    /// Terminates the acceptor and supervisor loops (set by `wait` after
+    /// the workers have drained, so polls keep working until the end).
+    stop: AtomicBool,
+    accepted: AtomicU64,
+    rejected_busy: AtomicU64,
+    timeout_ms: u64,
+}
+
+/// A running server. Dropping it without calling [`Server::wait`] leaks
+/// the threads; `wait` is the supported teardown.
+#[derive(Debug)]
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the thread pool, and returns once the server is
+    /// accepting requests.
+    ///
+    /// # Errors
+    ///
+    /// Invalid configuration or a failed bind.
+    pub fn start(cfg: &ServiceConfig) -> Result<Server, String> {
+        if cfg.workers == 0 {
+            return Err("--workers must be at least 1".to_string());
+        }
+        if cfg.queue_depth == 0 {
+            return Err("--queue-depth must be at least 1".to_string());
+        }
+        let listener =
+            TcpListener::bind(&cfg.addr).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| format!("local_addr: {e}"))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("set_nonblocking: {e}"))?;
+
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(cfg.queue_depth),
+            table: JobTable::default(),
+            accepting: AtomicBool::new(true),
+            shutdown: AtomicBool::new(false),
+            force: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+            accepted: AtomicU64::new(0),
+            rejected_busy: AtomicU64::new(0),
+            timeout_ms: cfg.job_timeout_ms,
+        });
+
+        let mut handles = Vec::with_capacity(cfg.workers + 2);
+        for worker in 0..cfg.workers {
+            let s = Arc::clone(&shared);
+            handles.push(
+                thread::Builder::new()
+                    .name(format!("noc-service-worker-{worker}"))
+                    .spawn(move || worker_loop(&s))
+                    .map_err(|e| format!("spawn worker: {e}"))?,
+            );
+        }
+        let s = Arc::clone(&shared);
+        handles.push(
+            thread::Builder::new()
+                .name("noc-service-supervisor".to_string())
+                .spawn(move || supervisor_loop(&s))
+                .map_err(|e| format!("spawn supervisor: {e}"))?,
+        );
+        let s = Arc::clone(&shared);
+        handles.push(
+            thread::Builder::new()
+                .name("noc-service-acceptor".to_string())
+                .spawn(move || acceptor_loop(&listener, &s))
+                .map_err(|e| format!("spawn acceptor: {e}"))?,
+        );
+        Ok(Server {
+            shared,
+            local_addr,
+            handles,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Begins shutdown: stop accepting, close the queue. With `force`,
+    /// also drop queued jobs and cancel running ones.
+    pub fn request_shutdown(&self, force: bool) {
+        initiate_shutdown(&self.shared, force);
+    }
+
+    /// Blocks until shutdown completes (someone must have requested it,
+    /// over HTTP or via [`Server::request_shutdown`]) and every thread has
+    /// exited; returns the final accounting.
+    pub fn wait(self) -> ShutdownReport {
+        // Workers exit once the queue is closed and drained. The acceptor
+        // and supervisor stay up until then so clients can poll statuses
+        // of draining jobs.
+        let (mut acceptor_and_supervisor, workers): (Vec<_>, Vec<_>) = self
+            .handles
+            .into_iter()
+            .partition(|h| h.thread().name().is_some_and(|n| !n.contains("worker")));
+        for h in workers {
+            let _ = h.join();
+        }
+        self.shared.stop.store(true, Ordering::SeqCst);
+        for h in acceptor_and_supervisor.drain(..) {
+            let _ = h.join();
+        }
+        let c = self.shared.table.counts();
+        report_from(&self.shared, &c)
+    }
+
+    /// The live `/stats` snapshot, for in-process callers.
+    pub fn counts(&self) -> JobCounts {
+        self.shared.table.counts()
+    }
+}
+
+fn report_from(shared: &Shared, c: &JobCounts) -> ShutdownReport {
+    ShutdownReport {
+        accepted: shared.accepted.load(Ordering::Relaxed),
+        completed: c.done,
+        failed: c.failed,
+        cancelled: c.cancelled,
+        timed_out: c.timed_out,
+        dropped: c.dropped,
+        rejected_busy: shared.rejected_busy.load(Ordering::Relaxed),
+    }
+}
+
+fn initiate_shutdown(shared: &Shared, force: bool) {
+    shared.accepting.store(false, Ordering::SeqCst);
+    if force {
+        shared.force.store(true, Ordering::SeqCst);
+        shared.table.abort_all();
+    }
+    shared.shutdown.store(true, Ordering::SeqCst);
+    // Close after the force sweep so a worker cannot claim a job the
+    // sweep was about to drop.
+    shared.queue.close();
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(id) = shared.queue.pop() {
+        // A force shutdown may have raced this pop: claim() refuses
+        // anything no longer queued, so dropped/cancelled ids fall through.
+        let Some((job, cancel, timed_out)) = shared.table.claim(id, shared.timeout_ms) else {
+            continue;
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| job.run_cancellable(&cancel)));
+        match outcome {
+            Ok(Some(result)) => {
+                let digest = result.trace_digest();
+                let json = result_to_json(&result);
+                shared
+                    .table
+                    .finish(id, JobState::Done, Some(json), digest, None);
+            }
+            Ok(None) => {
+                let state = if timed_out.load(Ordering::Relaxed) {
+                    JobState::TimedOut
+                } else {
+                    JobState::Cancelled
+                };
+                shared.table.finish(id, state, None, None, None);
+            }
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "experiment panicked".to_string());
+                shared
+                    .table
+                    .finish(id, JobState::Failed, None, None, Some(msg));
+            }
+        }
+    }
+}
+
+fn supervisor_loop(shared: &Shared) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        shared.table.expire_deadlines(clock::now());
+        thread::sleep(SUPERVISOR_POLL);
+    }
+}
+
+fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                // Bound slow clients so one stalled socket cannot wedge
+                // the acceptor.
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+                handle_connection(&mut stream, shared);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+            Err(_) => thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn handle_connection(stream: &mut TcpStream, shared: &Shared) {
+    let request = match read_request(stream) {
+        Ok(r) => r,
+        Err(e) => {
+            let body = format!("{{\"error\":{}}}", json_string(&e));
+            write_json_response(stream, 400, &[], &body);
+            return;
+        }
+    };
+    let (status, headers, body) = route(&request, shared);
+    let header_refs: Vec<(&str, &str)> = headers
+        .iter()
+        .map(|(n, v)| (*n, v.as_str()))
+        .collect();
+    write_json_response(stream, status, &header_refs, &body);
+}
+
+type Routed = (u16, Vec<(&'static str, String)>, String);
+
+fn route(req: &Request, shared: &Shared) -> Routed {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("POST", ["jobs"]) => submit(req, shared),
+        ("GET", ["jobs", id]) => with_id(id, |id| status(id, shared)),
+        ("GET", ["jobs", id, "result"]) => with_id(id, |id| result(id, shared)),
+        ("DELETE", ["jobs", id]) => with_id(id, |id| cancel(id, shared)),
+        ("GET", ["stats"]) => stats(shared),
+        ("POST", ["shutdown"]) => shutdown(req, shared),
+        (_, ["jobs"] | ["jobs", ..] | ["stats"] | ["shutdown"]) => plain(
+            405,
+            "{\"error\":\"method not allowed\"}".to_string(),
+        ),
+        _ => plain(404, "{\"error\":\"no such endpoint\"}".to_string()),
+    }
+}
+
+fn plain(status: u16, body: String) -> Routed {
+    (status, Vec::new(), body)
+}
+
+fn with_id(raw: &str, f: impl FnOnce(u64) -> Routed) -> Routed {
+    match raw.parse::<u64>() {
+        Ok(id) => f(id),
+        Err(_) => plain(400, format!("{{\"error\":{}}}", json_string("bad job id"))),
+    }
+}
+
+fn submit(req: &Request, shared: &Shared) -> Routed {
+    if !shared.accepting.load(Ordering::SeqCst) {
+        return plain(503, "{\"error\":\"server is shutting down\"}".to_string());
+    }
+    let job = match spec_from_json(&req.body) {
+        Ok(job) => job,
+        Err(e) => {
+            return plain(400, format!("{{\"error\":{}}}", json_string(&e.to_string())));
+        }
+    };
+    // Re-encode so the stored spec is canonical regardless of client
+    // formatting; encoding a just-decoded spec cannot fail.
+    let canonical = match spec_to_json(&job) {
+        Ok(s) => s,
+        Err(e) => {
+            return plain(400, format!("{{\"error\":{}}}", json_string(&e.to_string())));
+        }
+    };
+    let id = shared.table.insert(job, canonical);
+    match shared.queue.try_push(id) {
+        Ok(()) => {
+            shared.accepted.fetch_add(1, Ordering::Relaxed);
+            plain(202, format!("{{\"id\":{id},\"status\":\"queued\"}}"))
+        }
+        Err(PushError::Full) => {
+            shared.table.forget(id);
+            shared.rejected_busy.fetch_add(1, Ordering::Relaxed);
+            (
+                429,
+                vec![("Retry-After", RETRY_AFTER_SECS.to_string())],
+                "{\"error\":\"queue full, retry later\"}".to_string(),
+            )
+        }
+        Err(PushError::Closed) => {
+            shared.table.forget(id);
+            plain(503, "{\"error\":\"server is shutting down\"}".to_string())
+        }
+    }
+}
+
+fn status(id: u64, shared: &Shared) -> Routed {
+    match shared.table.status_json(id) {
+        Some(body) => plain(200, body),
+        None => plain(404, "{\"error\":\"no such job\"}".to_string()),
+    }
+}
+
+fn result(id: u64, shared: &Shared) -> Routed {
+    match shared.table.result_json(id) {
+        None => plain(404, "{\"error\":\"no such job\"}".to_string()),
+        Some(Some(body)) => plain(200, body),
+        Some(None) => {
+            let state = shared
+                .table
+                .with(id, |r| r.state.as_str())
+                .unwrap_or("unknown");
+            plain(
+                409,
+                format!("{{\"error\":\"job has no result\",\"status\":{}}}", json_string(state)),
+            )
+        }
+    }
+}
+
+fn cancel(id: u64, shared: &Shared) -> Routed {
+    match shared.table.cancel(id) {
+        Some(state) => plain(
+            200,
+            format!("{{\"id\":{id},\"status\":{}}}", json_string(state.as_str())),
+        ),
+        None => plain(404, "{\"error\":\"no such job\"}".to_string()),
+    }
+}
+
+fn stats(shared: &Shared) -> Routed {
+    let c = shared.table.counts();
+    let body = format!(
+        "{{\"accepting\":{},\"queue_len\":{},\"queue_depth\":{},\"accepted\":{},\"rejected_busy\":{},\
+         \"queued\":{},\"running\":{},\"done\":{},\"failed\":{},\"cancelled\":{},\"timed_out\":{},\"dropped\":{}}}",
+        shared.accepting.load(Ordering::SeqCst),
+        shared.queue.len(),
+        shared.queue.capacity(),
+        shared.accepted.load(Ordering::Relaxed),
+        shared.rejected_busy.load(Ordering::Relaxed),
+        c.queued,
+        c.running,
+        c.done,
+        c.failed,
+        c.cancelled,
+        c.timed_out,
+        c.dropped,
+    );
+    plain(200, body)
+}
+
+fn shutdown(req: &Request, shared: &Shared) -> Routed {
+    let force = !req.body.trim().is_empty()
+        && JsonValue::parse(&req.body)
+            .ok()
+            .as_ref()
+            .and_then(|v| v.get("force"))
+            .and_then(JsonValue::as_bool)
+            .unwrap_or(false);
+    initiate_shutdown(shared, force);
+    let mode = if force { "aborting" } else { "draining" };
+    plain(200, format!("{{\"status\":{}}}", json_string(mode)))
+}

@@ -33,7 +33,7 @@ cargo run -q --release --offline -p nbti-noc-bench --bin model_check > /dev/null
 # Telemetry smoke: a traced run must produce a parseable event trace and a
 # non-empty metrics series, and `stats` must re-derive a digest from it.
 teldir=$(mktemp -d)
-trap 'rm -rf "$teldir"' EXIT
+trap 'rm -rf "$teldir" "${servedir:-}"; [ -n "${serve_pid:-}" ] && kill "$serve_pid" 2>/dev/null || true' EXIT
 ./target/release/nbti-noc run --cores 4 --vcs 2 --rate 0.1 --policy sw \
     --warmup 200 --measure 2000 \
     --trace-out "$teldir/events.jsonl" --metrics-out "$teldir/metrics.csv" \
@@ -45,5 +45,38 @@ test -s "$teldir/metrics.csv" || { echo "ci: empty telemetry metrics" >&2; exit 
     echo "ci: stats did not report a digest" >&2
     exit 1
 }
+
+# Service smoke: serve on an ephemeral port, drive it with the submitting
+# client (which cross-checks every served digest against a local run),
+# then shut down gracefully and verify the drain accounted for every job.
+servedir=$(mktemp -d)
+./target/release/nbti-noc serve --addr 127.0.0.1:0 --workers 2 --queue-depth 4 \
+    > "$servedir/serve.log" 2>&1 &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^listening on //p' "$servedir/serve.log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "ci: service never reported its address" >&2; exit 1; }
+./target/release/nbti-noc submit --addr "$addr" --count 6 --concurrency 3 \
+    --measure 3000 --shutdown > "$servedir/submit.log" 2>&1 || {
+    cat "$servedir/submit.log" >&2
+    echo "ci: service smoke failed" >&2
+    exit 1
+}
+grep -q "digest check: 6/6" "$servedir/submit.log" || {
+    echo "ci: served digests did not match local runs" >&2
+    exit 1
+}
+wait "$serve_pid" || { echo "ci: serve exited nonzero" >&2; exit 1; }
+serve_pid=""
+grep -q "accepted 6 | completed 6" "$servedir/serve.log" || {
+    cat "$servedir/serve.log" >&2
+    echo "ci: graceful shutdown did not drain all jobs" >&2
+    exit 1
+}
+rm -rf "$servedir"
 
 echo "ci: all green"

@@ -9,6 +9,9 @@
 //!                 [--trace-out FILE] [--metrics-out FILE] [--sample-period N]
 //! nbti-noc stats  --trace FILE
 //! nbti-noc area
+//! nbti-noc serve  [--addr A] [--workers N] [--queue-depth N] [--timeout-ms N]
+//! nbti-noc submit [--addr A] [--count N] [--concurrency N] [--cores N] [--vcs V]
+//!                 [--rate R] [--policy P] [--warmup N] [--measure N] [--seed N] [--shutdown]
 //! nbti-noc help
 //! ```
 //!
@@ -95,22 +98,7 @@ fn report_invariants(result: &sensorwise::ExperimentResult) -> Result<(), String
 }
 
 fn parse_policy(name: &str) -> Result<PolicyKind, String> {
-    match name {
-        "baseline" => Ok(PolicyKind::Baseline),
-        "rr" | "rr-no-sensor" => Ok(PolicyKind::RrNoSensor),
-        "sw-nt" | "sensor-wise-no-traffic" => Ok(PolicyKind::SensorWiseNoTraffic),
-        "sw" | "sensor-wise" => Ok(PolicyKind::SensorWise),
-        other => {
-            if let Some(k) = other.strip_prefix("sw-k") {
-                let k: u8 = k.parse().map_err(|e| format!("bad k in `{other}`: {e}"))?;
-                Ok(PolicyKind::SensorWiseK(k))
-            } else {
-                Err(format!(
-                    "unknown policy `{other}` (try baseline, rr, sw-nt, sw, sw-k2)"
-                ))
-            }
-        }
-    }
+    PolicyKind::parse(name)
 }
 
 /// `(p50, p95, p99, max)` upper bounds from the latency histogram, when
@@ -251,16 +239,162 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         warmup,
         measure
     );
-    let telemetry = parse_telemetry(args)?;
+    let mut telemetry = parse_telemetry(args)?;
+    let json = args.has("json");
+    if json {
+        // JSON output always carries the determinism witness.
+        telemetry.spec.trace = true;
+    }
     let mut job = scenario.job(policy, warmup, measure);
     job.cfg = job
         .cfg
         .with_invariants(invariants)
         .with_telemetry(telemetry.spec);
     let result = job.run();
-    print_port_table(&result, args.has("csv"));
+    if json {
+        println!("{}", sensorwise::result_to_json(&result));
+    } else {
+        print_port_table(&result, args.has("csv"));
+    }
     write_telemetry(&result, &telemetry)?;
     report_invariants(&result)
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let cfg = noc_service::ServiceConfig {
+        addr: args.get("addr", "127.0.0.1:7878".to_string())?,
+        workers: args.get("workers", 2usize)?,
+        queue_depth: args.get("queue-depth", 16usize)?,
+        job_timeout_ms: args.get("timeout-ms", 0u64)?,
+    };
+    let server = noc_service::Server::start(&cfg)?;
+    println!("listening on {}", server.local_addr());
+    eprintln!(
+        "{} workers, queue depth {}, job timeout {}",
+        cfg.workers,
+        cfg.queue_depth,
+        if cfg.job_timeout_ms == 0 {
+            "off".to_string()
+        } else {
+            format!("{} ms", cfg.job_timeout_ms)
+        }
+    );
+    let report = server.wait();
+    println!(
+        "shutdown: accepted {} | completed {} failed {} cancelled {} timed_out {} dropped {} | rejected_busy {}",
+        report.accepted,
+        report.completed,
+        report.failed,
+        report.cancelled,
+        report.timed_out,
+        report.dropped,
+        report.rejected_busy
+    );
+    if report.accounts_for_all() {
+        Ok(())
+    } else {
+        Err("shutdown report does not account for every accepted job".to_string())
+    }
+}
+
+/// The load-generating client: submits `--count` specs with `--concurrency`
+/// parallel submitters, waits for every result, and cross-checks each
+/// returned `trace_digest` against a local in-process run of the same spec.
+fn cmd_submit(args: &Args) -> Result<(), String> {
+    let addr = args.get("addr", "127.0.0.1:7878".to_string())?;
+    let count = args.get("count", 8usize)?;
+    let concurrency = validate_jobs(args.get("concurrency", 4usize)?)?;
+    let scenario = SyntheticScenario {
+        cores: args.get("cores", 4usize)?,
+        vcs: args.get("vcs", 2usize)?,
+        injection_rate: args.get("rate", 0.15f64)?,
+    };
+    let policy = parse_policy(args.get("policy", "sensor-wise".to_string())?.as_str())?;
+    let warmup = args.get("warmup", 500u64)?;
+    let measure = args.get("measure", 5_000u64)?;
+    let seed = args.get("seed", 1u64)?;
+    if count == 0 {
+        return Err("--count must be at least 1".to_string());
+    }
+
+    // One spec per job: identical scenario, per-job traffic seed, tracing
+    // on so every result carries its digest.
+    let jobs: Vec<ExperimentJob> = (0..count)
+        .map(|i| {
+            let mut job = scenario.job(policy, warmup, measure);
+            job.cfg.telemetry.trace = true;
+            job.traffic = job.traffic.with_seed(seed + i as u64);
+            job
+        })
+        .collect();
+    let specs: Vec<String> = jobs
+        .iter()
+        .map(|j| sensorwise::spec_to_json(j).map_err(|e| e.to_string()))
+        .collect::<Result<_, _>>()?;
+
+    eprintln!(
+        "submitting {count} jobs to {addr} ({concurrency} concurrent submitters)..."
+    );
+    let client = noc_service::ServiceClient::new(addr.clone());
+    let started = noc_service::clock::now();
+    let outcomes = parallel_map(&specs, concurrency, |_, spec| {
+        let c = client.clone();
+        let (id, busy, latencies) = c.submit_with_retry(spec, 200)?;
+        let result = c.wait_result(id, 20, 3_000)?;
+        Ok::<_, String>((id, busy, latencies, result))
+    });
+    let elapsed_ms = noc_service::clock::millis_since(started).max(1);
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut busy_total = 0u64;
+    let mut digests = Vec::with_capacity(count);
+    for outcome in outcomes {
+        let (_, busy, lat, result) = outcome?;
+        busy_total += u64::from(busy);
+        latencies.extend(lat);
+        digests.push(
+            result
+                .trace_digest
+                .ok_or("server result carried no trace_digest")?,
+        );
+    }
+
+    eprintln!("cross-checking digests against local runs...");
+    let local = run_batch(&jobs, concurrency);
+    let mut mismatches = 0usize;
+    for (i, (r, served)) in local.iter().zip(&digests).enumerate() {
+        let local_digest = r
+            .trace_digest()
+            .ok_or("local run carried no trace_digest")?;
+        if local_digest != *served {
+            eprintln!(
+                "digest mismatch for job {i}: served {served:016x}, local {local_digest:016x}"
+            );
+            mismatches += 1;
+        }
+    }
+
+    latencies.sort_unstable();
+    let jobs_per_sec = count as f64 * 1_000.0 / elapsed_ms as f64;
+    println!(
+        "{count} jobs in {elapsed_ms} ms ({jobs_per_sec:.1} jobs/s), {} submit requests ({busy_total} retried on 429)",
+        latencies.len()
+    );
+    println!(
+        "submit latency: p50 {} ms p99 {} ms",
+        percentile(&latencies, 0.5),
+        percentile(&latencies, 0.99)
+    );
+    if args.has("shutdown") {
+        client.shutdown(false)?;
+        eprintln!("requested graceful shutdown of {addr}");
+    }
+    if mismatches == 0 {
+        println!("digest check: {count}/{count} served results identical to local runs");
+        Ok(())
+    } else {
+        Err(format!("digest check failed for {mismatches} job(s)"))
+    }
 }
 
 fn cmd_sweep(args: &Args) -> Result<(), String> {
@@ -428,11 +562,16 @@ subcommands:
                                            [--trace-out FILE --metrics-out FILE --sample-period N]
   stats   summarize a telemetry trace      --trace FILE (event counts, churn, latency, digest)
   area    print the §III-D area overhead report
+  serve   HTTP job API for experiments     [--addr 127.0.0.1:7878 --workers N --queue-depth N --timeout-ms N]
+  submit  load-generating client           [--addr --count --concurrency --cores --vcs --rate --policy
+                                            --warmup --measure --seed --shutdown]
   help    this text
 
 policies: baseline | rr | sw-nt | sw | sw-kN (e.g. sw-k2)
 invariant levels: off (default) | cheap | full — runtime protocol checks; violations exit nonzero
 telemetry: --trace-out writes a JSONL event trace, --metrics-out a per-port CSV series
+serving: `run --json` prints the same result JSON the service returns (digest included);
+         `submit` cross-checks every served digest against a local run of the same spec
 paper tables: see `cargo run -p nbti-noc-bench --bin table2|table3|table4|...`";
 
 fn main() -> ExitCode {
@@ -450,6 +589,8 @@ fn main() -> ExitCode {
             "replay" => cmd_replay(&args),
             "stats" => cmd_stats(&args),
             "area" => cmd_area(),
+            "serve" => cmd_serve(&args),
+            "submit" => cmd_submit(&args),
             "help" | "--help" | "-h" => {
                 println!("{HELP}");
                 Ok(())

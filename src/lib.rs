@@ -18,7 +18,10 @@
 //!   (`baseline`, `rr-no-sensor`, `sensor-wise-no-traffic`, `sensor-wise`),
 //!   the cooperative control links, and the experiment runner,
 //! * [`area`] ([`noc_area`]) — ORION-style router area model and the
-//!   sensor/link overhead analysis.
+//!   sensor/link overhead analysis,
+//! * [`service`] ([`noc_service`]) — the HTTP job API serving deterministic
+//!   experiments: bounded queue with backpressure, fixed worker pool,
+//!   per-job timeouts and graceful drain.
 //!
 //! See the `examples/` directory for runnable entry points, starting with
 //! `quickstart.rs`.
@@ -33,6 +36,7 @@
 
 pub use nbti_model as nbti;
 pub use noc_area as area;
+pub use noc_service as service;
 pub use noc_sim as sim;
 pub use noc_telemetry as telemetry;
 pub use noc_traffic as traffic;
@@ -53,7 +57,7 @@ pub mod prelude {
     };
     pub use noc_traffic::prelude::*;
     pub use sensorwise::{
-        default_jobs, run_batch, run_experiment, validate_jobs, ExperimentConfig, ExperimentJob,
-        ExperimentResult, NbtiMonitor, PolicyKind, SyntheticScenario, TrafficSpec,
+        default_jobs, parallel_map, run_batch, run_experiment, validate_jobs, ExperimentConfig,
+        ExperimentJob, ExperimentResult, NbtiMonitor, PolicyKind, SyntheticScenario, TrafficSpec,
     };
 }

@@ -247,3 +247,22 @@ fn sensor_wise_k_policy_is_accepted() {
     assert!(ok, "{stdout}");
     assert!(stdout.contains("delivered"));
 }
+
+#[test]
+fn run_json_emits_the_wire_schema_with_a_digest() {
+    let args = [
+        "run", "--cores", "4", "--vcs", "2", "--rate", "0.1", "--warmup", "100", "--measure",
+        "1000", "--json",
+    ];
+    let (stdout, stderr, ok) = run(&args);
+    assert!(ok, "{stdout}\n{stderr}");
+    let wire = sensorwise::WireResult::from_json(stdout.trim()).expect("valid wire JSON");
+    assert_eq!(wire.policy, "sensor-wise");
+    assert_eq!(wire.measured_cycles, 1000);
+    let digest = wire.trace_digest.expect("--json always carries the digest");
+    // Same config, same digest: the CLI's JSON is the service's JSON.
+    let (again, _, ok) = run(&args);
+    assert!(ok);
+    let wire2 = sensorwise::WireResult::from_json(again.trim()).expect("valid wire JSON");
+    assert_eq!(wire2.trace_digest, Some(digest));
+}

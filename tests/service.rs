@@ -1,0 +1,308 @@
+//! Integration tests for the experiment-serving subsystem.
+//!
+//! Everything runs against real servers on ephemeral ports
+//! (`127.0.0.1:0`), exercising the public HTTP surface exactly as an
+//! external client would. The load-bearing assertions:
+//!
+//! * served results are bit-identical (by `trace_digest`) to in-process
+//!   runs of the same specs, for any worker count,
+//! * queue overflow surfaces as `429` + `Retry-After` and never hangs a
+//!   submission or loses an accepted job,
+//! * cancellation, timeouts and both shutdown modes leave every accepted
+//!   job in exactly one terminal state the shutdown report accounts for.
+
+use nbti_noc::prelude::*;
+use noc_service::{Server, ServiceClient, ServiceConfig, Submitted};
+
+/// One traced spec of the standard scenario with a per-replica seed.
+fn spec(measure: u64, seed: u64) -> (ExperimentJob, String) {
+    let scenario = SyntheticScenario {
+        cores: 4,
+        vcs: 2,
+        injection_rate: 0.15,
+    };
+    let mut job = scenario.job(PolicyKind::SensorWise, 200, measure);
+    job.cfg.telemetry.trace = true;
+    job.traffic = job.traffic.with_seed(seed);
+    let json = sensorwise::spec_to_json(&job).expect("synthetic specs are servable");
+    (job, json)
+}
+
+fn start(workers: usize, queue_depth: usize, job_timeout_ms: u64) -> (Server, ServiceClient) {
+    let server = Server::start(&ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        queue_depth,
+        job_timeout_ms,
+    })
+    .expect("ephemeral bind succeeds");
+    let client = ServiceClient::new(server.local_addr().to_string());
+    (server, client)
+}
+
+#[test]
+fn served_digests_match_in_process_runs_for_any_worker_count() {
+    let jobs_and_specs: Vec<(ExperimentJob, String)> =
+        (0..6).map(|i| spec(4_000, 100 + i)).collect();
+    let local: Vec<u64> = jobs_and_specs
+        .iter()
+        .map(|(job, _)| job.run().trace_digest().expect("traced run has a digest"))
+        .collect();
+
+    // The same six specs through a single-worker and a three-worker
+    // server; scheduling must not leak into results.
+    for workers in [1usize, 3] {
+        let (server, client) = start(workers, 16, 0);
+        let served: Vec<u64> = parallel_map(&jobs_and_specs, 3, |_, (_, json)| {
+            let (id, _, _) = client
+                .submit_with_retry(json, 50)
+                .expect("queue depth 16 absorbs 6 jobs");
+            let result = client.wait_result(id, 10, 6_000).expect("job completes");
+            result.trace_digest.expect("served result carries a digest")
+        });
+        assert_eq!(served, local, "served digests diverged at {workers} workers");
+        server.request_shutdown(false);
+        let report = server.wait();
+        assert_eq!(report.completed, 6);
+        assert!(report.accounts_for_all(), "{report:?}");
+    }
+}
+
+#[test]
+fn overflow_gets_429_with_retry_after_and_no_accepted_job_is_lost() {
+    // One worker, queue depth 1: six concurrent slow submissions must
+    // overflow. 429 is backpressure, not failure — retries drain through.
+    let (server, client) = start(1, 1, 0);
+    let jobs_and_specs: Vec<(ExperimentJob, String)> =
+        (0..6).map(|i| spec(15_000, 200 + i)).collect();
+
+    let outcomes = parallel_map(&jobs_and_specs, 6, |_, (_, json)| {
+        client.submit(json).expect("transport stays up")
+    });
+    let mut accepted: Vec<u64> = Vec::new();
+    let mut busy = 0usize;
+    for (outcome, _) in &outcomes {
+        match outcome {
+            Submitted::Accepted { id } => accepted.push(*id),
+            Submitted::Busy { retry_after_secs } => {
+                assert!(*retry_after_secs >= 1, "Retry-After must hint a wait");
+                busy += 1;
+            }
+            Submitted::Refused { status, error } => {
+                panic!("unexpected refusal {status}: {error}");
+            }
+        }
+    }
+    assert_eq!(accepted.len() + busy, 6, "every submission got an answer");
+    assert!(busy >= 1, "depth-1 queue must overflow under 6 rapid submissions");
+    assert!(
+        accepted.len() >= 2,
+        "worker + queue slots accept at least two jobs"
+    );
+
+    // The rejected specs go through the retrying path; everything must
+    // complete with the right digests.
+    let retried: Vec<(ExperimentJob, String)> = jobs_and_specs
+        .iter()
+        .zip(&outcomes)
+        .filter(|(_, (o, _))| matches!(o, Submitted::Busy { .. }))
+        .map(|(js, _)| js.clone())
+        .collect();
+    let retried_ids = parallel_map(&retried, 3, |_, (_, json)| {
+        let (id, _, _) = client
+            .submit_with_retry(json, 500)
+            .expect("retries eventually drain");
+        id
+    });
+    for (id, (job, _)) in accepted
+        .iter()
+        .copied()
+        .zip(jobs_and_specs.iter().zip(&outcomes).filter_map(|(js, (o, _))| {
+            matches!(o, Submitted::Accepted { .. }).then_some(js)
+        }))
+        .chain(retried_ids.iter().copied().zip(retried.iter()))
+    {
+        let served = client.wait_result(id, 10, 6_000).expect("job completes");
+        let local = job.run().trace_digest().expect("traced");
+        assert_eq!(served.trace_digest, Some(local), "digest mismatch for job {id}");
+    }
+
+    server.request_shutdown(false);
+    let report = server.wait();
+    assert_eq!(report.accepted, 6, "accepted + retried = all six specs");
+    assert_eq!(report.completed, 6);
+    assert_eq!(report.dropped, 0, "graceful path never drops");
+    assert!(report.rejected_busy >= 1);
+    assert!(report.accounts_for_all(), "{report:?}");
+}
+
+#[test]
+fn cancellation_hits_both_queued_and_running_jobs() {
+    let (server, client) = start(1, 4, 0);
+    // A long job occupies the single worker...
+    let (_, long_spec) = spec(400_000, 300);
+    let (running, _, _) = client.submit_with_retry(&long_spec, 10).expect("submits");
+    // ...so this one stays queued behind it.
+    let (_, queued_spec) = spec(4_000, 301);
+    let (queued, _, _) = client.submit_with_retry(&queued_spec, 10).expect("submits");
+
+    assert_eq!(client.cancel(queued).expect("known id"), "cancelled");
+    let status = client.status(queued).expect("known id");
+    assert_eq!(status.status, "cancelled");
+
+    // The running job transitions once the engine observes the flag.
+    client.cancel(running).expect("known id");
+    let mut state = String::new();
+    for _ in 0..600 {
+        state = client.status(running).expect("known id").status;
+        if state == "cancelled" {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert_eq!(state, "cancelled", "running job must observe cancellation");
+    assert!(
+        client.result(running).expect("known id").is_none(),
+        "cancelled jobs serve no result"
+    );
+
+    server.request_shutdown(false);
+    let report = server.wait();
+    assert_eq!(report.cancelled, 2);
+    assert!(report.accounts_for_all(), "{report:?}");
+}
+
+#[test]
+fn deadline_supervisor_times_out_overlong_jobs() {
+    let (server, client) = start(1, 4, 120);
+    let (_, long_spec) = spec(400_000, 400);
+    let (id, _, _) = client.submit_with_retry(&long_spec, 10).expect("submits");
+    let mut state = String::new();
+    for _ in 0..600 {
+        state = client.status(id).expect("known id").status;
+        if state == "timed_out" {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert_eq!(state, "timed_out", "120 ms budget cannot fit a 400k-cycle run");
+
+    // A short job under the same budget still completes.
+    let (job, quick_spec) = spec(2_000, 401);
+    let (quick, _, _) = client.submit_with_retry(&quick_spec, 10).expect("submits");
+    let served = client.wait_result(quick, 10, 1_000).expect("fits the budget");
+    assert_eq!(
+        served.trace_digest,
+        Some(job.run().trace_digest().expect("traced")),
+        "a timeout policy must not perturb surviving results"
+    );
+
+    server.request_shutdown(false);
+    let report = server.wait();
+    assert_eq!((report.timed_out, report.completed), (1, 1));
+    assert!(report.accounts_for_all(), "{report:?}");
+}
+
+#[test]
+fn graceful_shutdown_drains_every_accepted_job() {
+    let (server, client) = start(2, 8, 0);
+    let specs: Vec<(ExperimentJob, String)> = (0..5).map(|i| spec(6_000, 500 + i)).collect();
+    let ids: Vec<u64> = specs
+        .iter()
+        .map(|(_, json)| client.submit_with_retry(json, 10).expect("submits").0)
+        .collect();
+    // Shut down immediately: accepted jobs must still all complete.
+    client.shutdown(false).expect("shutdown endpoint answers");
+
+    // New submissions are refused while draining.
+    let (_, late) = spec(1_000, 599);
+    match client.submit(&late).expect("transport stays up").0 {
+        Submitted::Refused { status, .. } => assert_eq!(status, 503),
+        other => panic!("draining server accepted new work: {other:?}"),
+    }
+
+    // Polling keeps working during the drain.
+    for &id in &ids {
+        let served = client.wait_result(id, 10, 6_000).expect("drained to completion");
+        assert!(served.trace_digest.is_some());
+    }
+    let report = server.wait();
+    assert_eq!(report.accepted, 5);
+    assert_eq!(report.completed, 5);
+    assert_eq!(report.dropped, 0, "graceful drain never drops");
+    assert!(report.accounts_for_all(), "{report:?}");
+}
+
+#[test]
+fn force_shutdown_drops_queued_jobs_and_reports_them() {
+    let (server, client) = start(1, 8, 0);
+    // One long runner plus a backlog that cannot start before the abort.
+    let (_, long_spec) = spec(400_000, 600);
+    let (_running, _, _) = client.submit_with_retry(&long_spec, 10).expect("submits");
+    for i in 0..3 {
+        let (_, json) = spec(4_000, 601 + i);
+        client.submit_with_retry(&json, 10).expect("submits");
+    }
+    server.request_shutdown(true);
+    let report = server.wait();
+    assert_eq!(report.accepted, 4);
+    assert!(report.dropped >= 1, "the backlog must be reported dropped: {report:?}");
+    assert!(report.accounts_for_all(), "{report:?}");
+}
+
+#[test]
+fn protocol_errors_are_typed_not_hangs() {
+    let (server, client) = start(1, 2, 0);
+    let addr = server.local_addr().to_string();
+
+    // Unknown job.
+    assert!(client.status(999).unwrap_err().contains("404"));
+    // Bad spec.
+    match client.submit("{\"noc\":{\"cols\":0}}").expect("transport").0 {
+        Submitted::Refused { status, .. } => assert_eq!(status, 400),
+        other => panic!("invalid spec accepted: {other:?}"),
+    }
+    // Unparseable body.
+    match client.submit("not json at all").expect("transport").0 {
+        Submitted::Refused { status, .. } => assert_eq!(status, 400),
+        other => panic!("garbage accepted: {other:?}"),
+    }
+    // Wrong method on a known route.
+    let r = noc_service::http::http_request(&addr, "PUT", "/jobs", "").expect("transport");
+    assert_eq!(r.status, 405);
+    // Unknown route.
+    let r = noc_service::http::http_request(&addr, "GET", "/nope", "").expect("transport");
+    assert_eq!(r.status, 404);
+    // Stats endpoint exposes queue and lifecycle counters.
+    let stats = client.stats().expect("stats parse");
+    assert_eq!(stats.get("queue_depth").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(stats.get("accepting").and_then(|v| v.as_bool()), Some(true));
+
+    server.request_shutdown(false);
+    let report = server.wait();
+    assert_eq!(report.accepted, 0);
+    assert!(report.accounts_for_all(), "{report:?}");
+}
+
+#[test]
+fn invariant_counts_travel_over_the_wire() {
+    let scenario = SyntheticScenario {
+        cores: 4,
+        vcs: 2,
+        injection_rate: 0.1,
+    };
+    let mut job = scenario.job(PolicyKind::SensorWise, 200, 3_000);
+    job.cfg = job.cfg.with_invariants(InvariantLevel::Full);
+    job.cfg.telemetry.trace = true;
+    let json = sensorwise::spec_to_json(&job).expect("servable");
+
+    let (server, client) = start(1, 2, 0);
+    let (id, _, _) = client.submit_with_retry(&json, 10).expect("submits");
+    let served = client.wait_result(id, 10, 2_000).expect("completes");
+    assert_eq!(served.invariant_violations, 0);
+    assert!(served.latency.is_some(), "latency percentiles served");
+    assert_eq!(served.policy, "sensor-wise");
+
+    server.request_shutdown(false);
+    server.wait();
+}

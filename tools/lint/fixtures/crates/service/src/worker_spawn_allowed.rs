@@ -1,0 +1,16 @@
+//! Lint fixture: the serving layer's sanctioned thread ownership.
+//!
+//! `crates/service/` is on the `no-thread-spawn` allowlist — its fixed
+//! acceptor/worker/supervisor threads are the one other place besides
+//! `core::parallel` allowed to own threads — so the spawn below must
+//! produce NO finding. The unordered map must still trigger
+//! `no-unordered-map` exactly once: the allowlist widens one rule, not
+//! the crate's whole rule set.
+
+pub fn spawn_worker() -> std::thread::JoinHandle<()> {
+    std::thread::spawn(|| {})
+}
+
+pub fn job_index() -> std::collections::HashMap<u64, u64> {
+    Default::default()
+}
