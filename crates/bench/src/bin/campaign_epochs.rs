@@ -1,0 +1,132 @@
+//! Campaign throughput bench: epochs/sec through the full lifetime loop —
+//! epoch simulation, ledger integration, checkpoint encode + fsync-free
+//! save — appended to `BENCH_campaign.json`.
+//!
+//! Each invocation runs one multi-epoch campaign of the standard 4-core
+//! scenario, checkpointing after every epoch exactly as `campaign run`
+//! does, and records wall time, epochs/sec, checkpoint size and the final
+//! chained digest. Regressions in the epoch loop or the snapshot codec
+//! show up as a drop between consecutive runs.
+//!
+//! Usage: `cargo run --release -p nbti-noc-bench --bin campaign_epochs`
+//! `[-- --epochs N --measure N --warmup N --rate R]`
+
+use noc_campaign::{Campaign, CampaignSpec};
+use noc_service::clock;
+use sensorwise::{ExperimentJob, PolicyKind, SyntheticScenario};
+use std::fs;
+use std::path::Path;
+
+struct BenchConfig {
+    epochs: u32,
+    measure: u64,
+    warmup: u64,
+    rate: f64,
+}
+
+fn parse_args() -> BenchConfig {
+    let mut cfg = BenchConfig {
+        epochs: 8,
+        measure: 5_000,
+        warmup: 500,
+        rate: 0.15,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let value = it.next().map(|v| v.as_str()).unwrap_or("");
+        match arg.as_str() {
+            "--epochs" => cfg.epochs = value.parse().expect("--epochs"),
+            "--measure" => cfg.measure = value.parse().expect("--measure"),
+            "--warmup" => cfg.warmup = value.parse().expect("--warmup"),
+            "--rate" => cfg.rate = value.parse().expect("--rate"),
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+    cfg
+}
+
+/// Appends `entry` to the JSON array in `path`, creating it on first run.
+fn append_entry(path: &Path, entry: &str) {
+    let body = match fs::read_to_string(path) {
+        Ok(existing) => {
+            let trimmed = existing.trim_end().trim_end_matches(']').trim_end();
+            let trimmed = trimmed.trim_end_matches(',');
+            format!("{trimmed},\n  {entry}\n]\n")
+        }
+        Err(_) => format!("[\n  {entry}\n]\n"),
+    };
+    fs::write(path, body).expect("write BENCH_campaign.json");
+}
+
+/// Entries already recorded, for the monotone run index.
+fn existing_runs(path: &Path) -> u64 {
+    fs::read_to_string(path)
+        .map(|s| s.matches("\"run\":").count() as u64)
+        .unwrap_or(0)
+}
+
+fn main() {
+    let bench = parse_args();
+    let scenario = SyntheticScenario {
+        cores: 4,
+        vcs: 2,
+        injection_rate: bench.rate,
+    };
+    let mut job: ExperimentJob = scenario.job(PolicyKind::SensorWise, bench.warmup, bench.measure);
+    job.traffic = job.traffic.with_seed(1);
+    let spec = CampaignSpec {
+        base: job,
+        epochs: bench.epochs,
+        age_acceleration: 1.0e9,
+        drain_limit: 10_000,
+    };
+
+    let ckpt = std::env::temp_dir().join(format!(
+        "bench-campaign-{}.ckpt",
+        std::process::id()
+    ));
+    let mut campaign = Campaign::new(spec).expect("bench spec is valid");
+
+    let started = clock::now();
+    let reports = campaign
+        .run_to_completion(None, Some(&ckpt))
+        .expect("campaign completes");
+    let elapsed_ms = clock::millis_since(started).max(1);
+
+    assert_eq!(reports.len() as u32, bench.epochs);
+    let checkpoint_bytes = fs::metadata(&ckpt).map(|m| m.len()).unwrap_or(0);
+    let _ = fs::remove_file(&ckpt);
+
+    let simulated_cycles = campaign.current_cycle().unwrap_or(0);
+    let epochs_per_sec = f64::from(bench.epochs) * 1_000.0 / elapsed_ms as f64;
+    let kcycles_per_sec = simulated_cycles as f64 / elapsed_ms as f64;
+    let max_delta = reports
+        .iter()
+        .map(|r| r.max_delta_vth_mv)
+        .fold(0.0f64, f64::max);
+
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_campaign.json");
+    let run = existing_runs(&out) + 1;
+    let entry = format!(
+        "{{\"run\":{run},\"epochs\":{},\"measure_cycles\":{},\"warmup_cycles\":{},\
+         \"rate\":{},\"elapsed_ms\":{elapsed_ms},\"epochs_per_sec\":{epochs_per_sec:.2},\
+         \"kcycles_per_sec\":{kcycles_per_sec:.1},\"simulated_cycles\":{simulated_cycles},\
+         \"checkpoint_bytes\":{checkpoint_bytes},\"max_delta_vth_mv\":{max_delta:.4},\
+         \"chained_digest\":\"{:016x}\"}}",
+        bench.epochs,
+        bench.measure,
+        bench.warmup,
+        bench.rate,
+        campaign.chained_digest()
+    );
+    append_entry(&out, &entry);
+    println!(
+        "campaign_epochs: {} epochs in {elapsed_ms} ms ({epochs_per_sec:.2} epochs/s, \
+         {kcycles_per_sec:.1} kcycles/s), checkpoint {checkpoint_bytes} B, \
+         max dVth {max_delta:.4} mV, chained digest {:016x}",
+        bench.epochs,
+        campaign.chained_digest()
+    );
+    println!("appended run {run} to {}", out.display());
+}

@@ -1,0 +1,447 @@
+//! The lifetime campaign engine.
+//!
+//! A *campaign* chains epochs of the cycle-accurate experiment into one
+//! simulated lifetime: each epoch resumes the network exactly where the
+//! previous epoch left it (drained-boundary [`NetworkSnapshot`]), and the
+//! per-buffer `ΔVth` accumulated by the [`LifetimeLedger`] feeds back into
+//! the next epoch's sensor readings — so the gating policy under test
+//! shapes the very degradation landscape it later reacts to (the paper's
+//! sensor-wise feedback loop, extended across a lifetime).
+//!
+//! Determinism contract: a campaign checkpointed at any epoch boundary and
+//! resumed from the snapshot produces bit-identical epoch digests, network
+//! state and ledger trajectories to the uninterrupted run. The witness is
+//! the chained [`EventDigest`] over the campaign's
+//! [`EventKind::EpochEnd`] boundary events, verifiable cheaply from a
+//! checkpoint alone.
+
+use crate::ledger::{LedgerError, LifetimeLedger};
+use crate::snapshot::SnapshotError;
+use nbti_model::rd::RdState;
+use nbti_model::{AlphaPowerModel, Volt};
+use noc_sim::snapshot::NetworkSnapshot;
+use noc_telemetry::{EventDigest, EventKind, TraceEvent};
+use sensorwise::codec::{json_string, spec_from_json, spec_to_json, JsonValue};
+use sensorwise::experiment::SensorModel;
+use sensorwise::{run_epoch, EpochError, ExperimentConfig, ExperimentJob, ResultCache, TrafficSpec, WireResult};
+use std::fmt;
+use std::path::Path;
+
+/// The per-epoch traffic-seed stride (the 64-bit golden-ratio constant):
+/// epoch `e` injects with seed `base + e·stride`, giving every epoch an
+/// independent but fully reproducible traffic stream.
+pub const EPOCH_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Everything that defines a campaign: the base experiment and the
+/// lifetime parameters layered on top of it.
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    /// The base experiment (config + traffic recipe). Its seeds anchor all
+    /// campaign randomness; its warmup/measure windows shape every epoch.
+    pub base: ExperimentJob,
+    /// How many epochs the campaign runs.
+    pub epochs: u32,
+    /// Lifetime scale factor: one simulated cycle ages the devices
+    /// `age_acceleration × tclk` seconds.
+    pub age_acceleration: f64,
+    /// Maximum drain cycles tolerated at each epoch boundary before the
+    /// epoch fails with a timeout.
+    pub drain_limit: u64,
+}
+
+impl CampaignSpec {
+    /// The injection seed for epoch `index` (epoch 0 keeps the base seed).
+    pub fn epoch_seed(&self, index: u32) -> u64 {
+        let base = match &self.base.traffic {
+            TrafficSpec::Uniform { seed, .. }
+            | TrafficSpec::Pattern { seed, .. }
+            | TrafficSpec::Mix { seed, .. } => *seed,
+        };
+        base.wrapping_add(u64::from(index).wrapping_mul(EPOCH_SEED_STRIDE))
+    }
+
+    /// The canonical JSON form of this spec — the campaign's identity for
+    /// content addressing and checkpoints. The base experiment is embedded
+    /// as its own canonical wire-codec string, so two specs are equal iff
+    /// their canonical JSON is equal.
+    pub fn canonical_json(&self) -> Result<String, CampaignError> {
+        let base = spec_to_json(&self.base).map_err(|e| CampaignError::Spec(e.to_string()))?;
+        Ok(format!(
+            "{{\"campaign\":{{\"epochs\":{},\"age_acceleration\":{},\"drain_limit\":{}}},\"base_spec\":{}}}",
+            self.epochs,
+            self.age_acceleration,
+            self.drain_limit,
+            json_string(&base)
+        ))
+    }
+
+    /// Parses a spec back from its canonical JSON.
+    pub fn from_json(text: &str) -> Result<CampaignSpec, CampaignError> {
+        let bad = |msg: &str| CampaignError::Spec(msg.to_string());
+        let v = JsonValue::parse(text).map_err(|e| CampaignError::Spec(e.to_string()))?;
+        let c = v.get("campaign").ok_or_else(|| bad("missing \"campaign\" object"))?;
+        let epochs_raw = c
+            .get("epochs")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| bad("missing or non-integer \"epochs\""))?;
+        let epochs = u32::try_from(epochs_raw)
+            .map_err(|_| bad("\"epochs\" exceeds the supported range"))?;
+        let age_acceleration = c
+            .get("age_acceleration")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| bad("missing or non-numeric \"age_acceleration\""))?;
+        let drain_limit = c
+            .get("drain_limit")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| bad("missing or non-integer \"drain_limit\""))?;
+        let base_text = v
+            .get("base_spec")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| bad("missing \"base_spec\" string"))?;
+        let base = spec_from_json(base_text).map_err(|e| CampaignError::Spec(e.to_string()))?;
+        Ok(CampaignSpec {
+            base,
+            epochs,
+            age_acceleration,
+            drain_limit,
+        })
+    }
+}
+
+/// Why a campaign operation failed.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// Every epoch already ran; there is nothing left to do.
+    Finished,
+    /// The spec is unusable (zero epochs, bad acceleration, codec
+    /// rejection, …).
+    Spec(String),
+    /// An epoch failed inside the experiment engine.
+    Epoch(EpochError),
+    /// The aging ledger rejected the epoch's duty totals.
+    Ledger(LedgerError),
+    /// A checkpoint could not be written or read.
+    Snapshot(SnapshotError),
+    /// An epoch produced no trace digest (telemetry harvest missing).
+    MissingTrace,
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Finished => write!(f, "campaign already ran all its epochs"),
+            CampaignError::Spec(msg) => write!(f, "invalid campaign spec: {msg}"),
+            CampaignError::Epoch(e) => write!(f, "epoch failed: {e}"),
+            CampaignError::Ledger(e) => write!(f, "aging ledger rejected the epoch: {e}"),
+            CampaignError::Snapshot(e) => write!(f, "checkpoint error: {e}"),
+            CampaignError::MissingTrace => {
+                write!(f, "epoch returned no trace digest despite tracing being forced on")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CampaignError::Epoch(e) => Some(e),
+            CampaignError::Ledger(e) => Some(e),
+            CampaignError::Snapshot(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EpochError> for CampaignError {
+    fn from(e: EpochError) -> Self {
+        CampaignError::Epoch(e)
+    }
+}
+
+impl From<LedgerError> for CampaignError {
+    fn from(e: LedgerError) -> Self {
+        CampaignError::Ledger(e)
+    }
+}
+
+impl From<SnapshotError> for CampaignError {
+    fn from(e: SnapshotError) -> Self {
+        CampaignError::Snapshot(e)
+    }
+}
+
+/// What one finished epoch reports back.
+#[derive(Debug, Clone)]
+pub struct EpochReport {
+    /// Zero-based epoch index.
+    pub index: u32,
+    /// The network cycle at the drained epoch boundary.
+    pub end_cycle: u64,
+    /// The epoch's own whole-stream event digest.
+    pub digest: u64,
+    /// The campaign digest chained over all boundary events so far.
+    pub chained_digest: u64,
+    /// Drain cycles spent settling in-flight traffic at the boundary.
+    pub drain_cycles: u64,
+    /// Worst accumulated `ΔVth` across all buffers after this epoch (mV).
+    pub max_delta_vth_mv: f64,
+    /// Worst per-buffer critical-path delay degradation after this epoch
+    /// (percent, alpha-power model).
+    pub worst_delay_degradation_percent: f64,
+    /// The epoch's measurement window, in wire form.
+    pub result: WireResult,
+}
+
+/// A running (or resumed) lifetime campaign.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    pub(crate) spec: CampaignSpec,
+    pub(crate) spec_json: String,
+    pub(crate) cfg: ExperimentConfig,
+    pub(crate) completed: u32,
+    pub(crate) epoch_ends: Vec<(u64, u64)>,
+    pub(crate) net: Option<NetworkSnapshot>,
+    pub(crate) ledger: Option<LifetimeLedger>,
+}
+
+impl Campaign {
+    /// Starts a fresh campaign.
+    ///
+    /// The base spec is normalized through the wire codec (serialize +
+    /// reparse) so an uninterrupted run and a checkpoint-resumed run use
+    /// byte-identical configurations, and event tracing is forced on —
+    /// the per-epoch digest is the campaign's determinism witness, not an
+    /// optional extra.
+    pub fn new(spec: CampaignSpec) -> Result<Campaign, CampaignError> {
+        if spec.epochs == 0 {
+            return Err(CampaignError::Spec("a campaign needs at least one epoch".to_string()));
+        }
+        if !spec.age_acceleration.is_finite() || spec.age_acceleration <= 0.0 {
+            return Err(CampaignError::Spec(format!(
+                "age acceleration must be finite and positive (got {})",
+                spec.age_acceleration
+            )));
+        }
+        if spec.drain_limit == 0 {
+            return Err(CampaignError::Spec(
+                "drain limit must be at least 1 cycle".to_string(),
+            ));
+        }
+        if !matches!(spec.base.cfg.sensor, SensorModel::Ideal) {
+            return Err(CampaignError::Epoch(EpochError::UnsupportedSensor));
+        }
+        let base_json = spec_to_json(&spec.base).map_err(|e| CampaignError::Spec(e.to_string()))?;
+        let base = spec_from_json(&base_json).map_err(|e| CampaignError::Spec(e.to_string()))?;
+        let spec = CampaignSpec { base, ..spec };
+        let spec_json = spec.canonical_json()?;
+        let mut cfg = spec.base.cfg.clone();
+        cfg.telemetry.trace = true;
+        Ok(Campaign {
+            spec,
+            spec_json,
+            cfg,
+            completed: 0,
+            epoch_ends: Vec::new(),
+            net: None,
+            ledger: None,
+        })
+    }
+
+    /// Rebuilds a campaign from decoded checkpoint parts, cross-checking
+    /// their internal consistency (used by the snapshot codec).
+    pub(crate) fn from_parts(
+        spec: CampaignSpec,
+        completed: u32,
+        epoch_ends: Vec<(u64, u64)>,
+        net: Option<NetworkSnapshot>,
+        states: Option<Vec<Vec<(Volt, RdState)>>>,
+    ) -> Result<Campaign, SnapshotError> {
+        let mut campaign =
+            Campaign::new(spec).map_err(|e| SnapshotError::Malformed(e.to_string()))?;
+        if u64::from(completed) != epoch_ends.len() as u64 {
+            return Err(SnapshotError::Malformed(format!(
+                "completed-epoch count {completed} disagrees with {} boundary records",
+                epoch_ends.len()
+            )));
+        }
+        if completed > campaign.spec.epochs {
+            return Err(SnapshotError::Malformed(format!(
+                "checkpoint claims {completed} completed epochs of a {}-epoch campaign",
+                campaign.spec.epochs
+            )));
+        }
+        if (completed > 0) != net.is_some() || (completed > 0) != states.is_some() {
+            return Err(SnapshotError::Malformed(
+                "network/ledger state must be present exactly when epochs completed".to_string(),
+            ));
+        }
+        campaign.ledger = match states {
+            Some(rows) => Some(
+                LifetimeLedger::from_states(
+                    &rows,
+                    campaign.cfg.model,
+                    campaign.spec.age_acceleration,
+                )
+                .map_err(|e| SnapshotError::Malformed(e.to_string()))?,
+            ),
+            None => None,
+        };
+        campaign.completed = completed;
+        campaign.epoch_ends = epoch_ends;
+        campaign.net = net;
+        Ok(campaign)
+    }
+
+    /// The campaign's spec.
+    pub fn spec(&self) -> &CampaignSpec {
+        &self.spec
+    }
+
+    /// The canonical spec JSON — the campaign's content address.
+    pub fn spec_json(&self) -> &str {
+        &self.spec_json
+    }
+
+    /// Epochs finished so far.
+    pub fn completed(&self) -> u32 {
+        self.completed
+    }
+
+    /// `true` once every epoch has run.
+    pub fn is_finished(&self) -> bool {
+        self.completed >= self.spec.epochs
+    }
+
+    /// Per-epoch `(end cycle, digest)` boundary records.
+    pub fn epoch_ends(&self) -> &[(u64, u64)] {
+        &self.epoch_ends
+    }
+
+    /// The network cycle of the latest drained boundary, if any epoch ran.
+    pub fn current_cycle(&self) -> Option<u64> {
+        self.net.as_ref().map(|snapshot| snapshot.cycle)
+    }
+
+    /// The aging ledger, once epoch 0 has seeded it.
+    pub fn ledger(&self) -> Option<&LifetimeLedger> {
+        self.ledger.as_ref()
+    }
+
+    /// The campaign-level determinism witness: an [`EventDigest`] folded
+    /// over one [`EventKind::EpochEnd`] event per finished epoch. Equal
+    /// chained digests mean equal epoch boundaries — cycle, stream digest
+    /// and order — which the resume tests tie back to bit-identical state.
+    pub fn chained_digest(&self) -> u64 {
+        let mut digest = EventDigest::new();
+        for (i, &(cycle, epoch_digest)) in self.epoch_ends.iter().enumerate() {
+            digest.update(&TraceEvent {
+                cycle,
+                kind: EventKind::EpochEnd {
+                    index: i as u32,
+                    digest: epoch_digest,
+                },
+            });
+        }
+        digest.value()
+    }
+
+    /// The content-address under which epoch `index` of this campaign is
+    /// filed in a result store.
+    pub fn epoch_store_key(&self, index: u32) -> String {
+        format!("{{\"campaign_epoch\":{index},\"campaign\":{}}}", self.spec_json)
+    }
+
+    /// Runs the next epoch: resumes the drained network, seeds sensors
+    /// with the ledger's aged `Vth`s, simulates warmup + measurement +
+    /// drain, then folds the epoch's duty totals back into the ledger.
+    ///
+    /// When a `store` is given, the epoch's wire result is persisted under
+    /// [`epoch_store_key`](Campaign::epoch_store_key) for later inspection
+    /// (`campaign status`, the service's cache endpoints). Epochs are
+    /// never *served* from the store — the snapshot chain, not the result
+    /// cache, is the resume mechanism.
+    pub fn run_next_epoch(
+        &mut self,
+        store: Option<&dyn ResultCache>,
+    ) -> Result<EpochReport, CampaignError> {
+        if self.is_finished() {
+            return Err(CampaignError::Finished);
+        }
+        let index = self.completed;
+        let traffic_spec = self
+            .spec
+            .base
+            .traffic
+            .with_seed(self.spec.epoch_seed(index));
+        let mut traffic = traffic_spec.build(&self.cfg.noc);
+        let aged = self.ledger.as_ref().map(LifetimeLedger::aged_vths);
+        let outcome = run_epoch(
+            &self.cfg,
+            traffic.as_mut(),
+            self.net.as_ref(),
+            aged.as_deref(),
+            self.spec.drain_limit,
+        )?;
+        let digest = outcome.result.trace_digest().ok_or(CampaignError::MissingTrace)?;
+        if self.ledger.is_none() {
+            let initial: Vec<Vec<Volt>> = outcome
+                .result
+                .ports
+                .iter()
+                .map(|p| p.initial_vths.clone())
+                .collect();
+            self.ledger = Some(LifetimeLedger::new(
+                &initial,
+                self.cfg.model,
+                self.spec.age_acceleration,
+            )?);
+        }
+        let (max_delta_vth_mv, worst_delay) = match self.ledger.as_mut() {
+            Some(ledger) => {
+                ledger.integrate_epoch(&outcome.duty_totals)?;
+                (
+                    ledger.max_delta_vth_mv(),
+                    ledger.worst_delay_degradation_percent(&AlphaPowerModel::paper_45nm()),
+                )
+            }
+            None => (0.0, 0.0),
+        };
+        let end_cycle = outcome.snapshot.cycle;
+        self.epoch_ends.push((end_cycle, digest));
+        self.net = Some(outcome.snapshot);
+        self.completed = index + 1;
+        let result = WireResult::from(&outcome.result);
+        if let Some(store) = store {
+            store.put(&self.epoch_store_key(index), &result);
+        }
+        Ok(EpochReport {
+            index,
+            end_cycle,
+            digest,
+            chained_digest: self.chained_digest(),
+            drain_cycles: outcome.drain_cycles,
+            max_delta_vth_mv,
+            worst_delay_degradation_percent: worst_delay,
+            result,
+        })
+    }
+
+    /// Runs every remaining epoch, checkpointing after each one when a
+    /// path is given (so a kill at any moment loses at most the epoch in
+    /// flight).
+    pub fn run_to_completion(
+        &mut self,
+        store: Option<&dyn ResultCache>,
+        checkpoint: Option<&Path>,
+    ) -> Result<Vec<EpochReport>, CampaignError> {
+        let mut reports = Vec::new();
+        while !self.is_finished() {
+            let report = self.run_next_epoch(store)?;
+            if let Some(path) = checkpoint {
+                self.save(path)?;
+            }
+            reports.push(report);
+        }
+        Ok(reports)
+    }
+}

@@ -43,7 +43,9 @@ use std::fmt;
 pub struct CodecError(String);
 
 impl CodecError {
-    fn new(msg: impl Into<String>) -> Self {
+    /// A codec error with the given message (crate-internal construction,
+    /// also used by the cache/sweep layers for schema-level problems).
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
         CodecError(msg.into())
     }
 }

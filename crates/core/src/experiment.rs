@@ -24,6 +24,7 @@ use nbti_model::{IdealSensor, LongTermModel, NbtiParams, NbtiSensor, ProcessVari
 use noc_sim::config::NocConfig;
 use noc_sim::invariants::{InvariantKind, InvariantLevel, InvariantViolation};
 use noc_sim::network::Network;
+use noc_sim::snapshot::{NetworkSnapshot, SnapshotStateError};
 use noc_sim::stats::NetStats;
 use noc_sim::types::{Direction, NodeId};
 use noc_sim::view::PortId;
@@ -33,6 +34,7 @@ use noc_telemetry::{
 };
 use noc_traffic::source::{inject_from, TrafficSource};
 use std::collections::BTreeMap;
+use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// How often (in cycles) a cancellable run polls its abort flag. Power of
@@ -305,15 +307,220 @@ fn dispatch_sensor<T: TraceSink>(
     }
 }
 
+/// Outcome of one campaign epoch: the usual experiment result plus the
+/// drained-boundary snapshot and the raw duty totals the campaign ledger
+/// integrates into accumulated ΔVth.
+#[derive(Debug, Clone)]
+pub struct EpochOutcome {
+    /// The epoch's measurement, identical in shape to a standalone run.
+    pub result: ExperimentResult,
+    /// The network state at the epoch boundary, after draining; restore it
+    /// into a fresh network to run the next epoch bit-identically.
+    pub snapshot: NetworkSnapshot,
+    /// Per-port, per-VC `(stress, recovery)` cycle totals over the
+    /// measured window, in `port_ids` order — the ledger's ΔVth input.
+    pub duty_totals: Vec<Vec<(u64, u64)>>,
+    /// Cycles spent draining and settling after the measured window.
+    pub drain_cycles: u64,
+}
+
+/// Why an epoch run failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EpochError {
+    /// The cancel flag was observed set; the partial epoch is discarded.
+    Cancelled,
+    /// Campaign epochs require [`SensorModel::Ideal`]: quantized sensors
+    /// carry mid-stream RNG state that a drained-boundary snapshot cannot
+    /// capture, so resuming them would not be bit-identical.
+    UnsupportedSensor,
+    /// The network did not drain within the cycle limit (e.g. a policy
+    /// kept buffers gated and traffic wedged).
+    DrainTimeout {
+        /// The drain cycle budget that was exhausted.
+        limit: u64,
+        /// Flits still inside the network when the budget ran out.
+        in_network: usize,
+        /// Packets still pending injection when the budget ran out.
+        pending_injection: usize,
+    },
+    /// The resume snapshot could not be applied to a fresh network.
+    Restore(SnapshotStateError),
+    /// The end-of-epoch snapshot could not be captured.
+    Snapshot(SnapshotStateError),
+}
+
+impl fmt::Display for EpochError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EpochError::Cancelled => write!(f, "epoch cancelled"),
+            EpochError::UnsupportedSensor => write!(
+                f,
+                "campaign epochs require the ideal sensor model \
+                 (quantized sensor RNG state cannot be snapshotted)"
+            ),
+            EpochError::DrainTimeout {
+                limit,
+                in_network,
+                pending_injection,
+            } => write!(
+                f,
+                "network failed to drain within {limit} cycles \
+                 ({in_network} flit(s) in network, {pending_injection} packet(s) pending)"
+            ),
+            EpochError::Restore(e) => write!(f, "resume snapshot rejected: {e}"),
+            EpochError::Snapshot(e) => write!(f, "epoch snapshot failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EpochError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EpochError::Restore(e) | EpochError::Snapshot(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// What `run_loop_inner` hands back to its two callers.
+struct LoopOutcome {
+    result: ExperimentResult,
+    snapshot: Option<NetworkSnapshot>,
+    duty_totals: Vec<Vec<(u64, u64)>>,
+    drain_cycles: u64,
+}
+
+/// Runs one *campaign epoch*: like [`run_experiment`], but the network can
+/// start from a drained-boundary [`NetworkSnapshot`] (`resume`), the
+/// monitor's per-VC threshold voltages can be injected (`vths`, the aged
+/// values carried by the campaign ledger), and after the measured window
+/// the network is drained — no further injection, policies still deciding —
+/// until quiescent plus a credit-settle margin, then snapshotted.
+///
+/// Determinism contract: running epochs `0..n` through this entry point,
+/// with each epoch resumed from its predecessor's snapshot, is bit-identical
+/// to the same epochs run in one process — including the event-trace digest
+/// — because the *only* state carried between epochs is the snapshot itself.
+///
+/// `drain_limit` bounds the post-measurement drain; a network that cannot
+/// drain (wedged traffic) yields [`EpochError::DrainTimeout`] instead of
+/// spinning forever.
+///
+/// # Panics
+///
+/// Panics if the network configuration is invalid or `vths` does not match
+/// the port list.
+pub fn run_epoch(
+    cfg: &ExperimentConfig,
+    traffic: &mut dyn TrafficSource,
+    resume: Option<&NetworkSnapshot>,
+    vths: Option<&[Vec<Volt>]>,
+    drain_limit: u64,
+) -> Result<EpochOutcome, EpochError> {
+    if !matches!(cfg.sensor, SensorModel::Ideal) {
+        return Err(EpochError::UnsupportedSensor);
+    }
+    if cfg.telemetry.trace {
+        let sink = RecordSink::with_capacity(cfg.telemetry.trace_capacity);
+        let net = Network::with_sink(cfg.noc.clone(), sink).expect("valid NoC configuration");
+        run_epoch_sink(cfg, traffic, net, resume, vths, drain_limit)
+    } else {
+        let net = Network::new(cfg.noc.clone()).expect("valid NoC configuration");
+        run_epoch_sink(cfg, traffic, net, resume, vths, drain_limit)
+    }
+}
+
+fn run_epoch_sink<T: TraceSink>(
+    cfg: &ExperimentConfig,
+    traffic: &mut dyn TrafficSource,
+    mut net: Network<T>,
+    resume: Option<&NetworkSnapshot>,
+    vths: Option<&[Vec<Volt>]>,
+    drain_limit: u64,
+) -> Result<EpochOutcome, EpochError> {
+    if let Some(snap) = resume {
+        net.restore(snap).map_err(EpochError::Restore)?;
+        if cfg.warmup_cycles == 0 {
+            // No warm-up boundary will reset the measurement window, so
+            // shed the restored cumulative stats here: the epoch's result
+            // must cover the epoch, not the whole campaign so far.
+            net.reset_stats();
+        }
+    }
+    let port_ids: Vec<PortId> = net.port_ids().to_vec();
+    let monitor = match vths {
+        Some(vths) => NbtiMonitor::<IdealSensor>::with_ideal_sensors_from_vths(
+            &port_ids, vths, cfg.model,
+        ),
+        None => {
+            let mut pv = ProcessVariation::paper_45nm(cfg.pv_seed);
+            NbtiMonitor::<IdealSensor>::with_ideal_sensors(
+                &port_ids,
+                cfg.noc.vcs_per_port,
+                &mut pv,
+                cfg.model,
+            )
+        }
+    };
+    static NEVER: AtomicBool = AtomicBool::new(false);
+    let out = run_loop_inner(
+        cfg,
+        traffic,
+        net,
+        port_ids,
+        monitor,
+        &NEVER,
+        Some(drain_limit),
+    )?;
+    let snapshot = out
+        .snapshot
+        .expect("drain was requested, so a snapshot is present");
+    Ok(EpochOutcome {
+        result: out.result,
+        snapshot,
+        duty_totals: out.duty_totals,
+        drain_cycles: out.drain_cycles,
+    })
+}
+
 /// The per-cycle loop, generic over the sensor model and the trace sink.
 fn run_loop<S: NbtiSensor, T: TraceSink>(
+    cfg: &ExperimentConfig,
+    traffic: &mut dyn TrafficSource,
+    net: Network<T>,
+    port_ids: Vec<PortId>,
+    monitor: NbtiMonitor<S>,
+    cancel: &AtomicBool,
+) -> Option<ExperimentResult> {
+    match run_loop_inner(cfg, traffic, net, port_ids, monitor, cancel, None) {
+        Ok(out) => Some(out.result),
+        Err(EpochError::Cancelled) => None,
+        // Drain/snapshot errors require `drain = Some(..)`.
+        Err(e) => unreachable!("non-epoch run cannot fail: {e}"),
+    }
+}
+
+/// The loop shared by standalone runs and campaign epochs. The `step`
+/// counter is *run-local* (controls warm-up, sampling, refresh and cancel
+/// cadence); the network's own cycle counter — which continues across
+/// resumed epochs — timestamps trace events and drives policy rotation.
+/// For a fresh network the two coincide, so standalone runs are
+/// bit-identical to what this loop produced before epochs existed.
+///
+/// When `drain` is `Some(limit)`, the measured window is followed by a
+/// drain phase: injection and NBTI recording stop, policies keep deciding,
+/// and the loop steps until the network is quiescent plus a credit-settle
+/// margin (bounded by `limit`), then captures a snapshot.
+#[allow(clippy::too_many_lines)]
+fn run_loop_inner<S: NbtiSensor, T: TraceSink>(
     cfg: &ExperimentConfig,
     traffic: &mut dyn TrafficSource,
     mut net: Network<T>,
     port_ids: Vec<PortId>,
     mut monitor: NbtiMonitor<S>,
     cancel: &AtomicBool,
-) -> Option<ExperimentResult> {
+    drain: Option<u64>,
+) -> Result<LoopOutcome, EpochError> {
     let mut policies: Vec<Box<dyn GatingPolicy>> = port_ids
         .iter()
         .map(|_| cfg.policy.build(cfg.rr_rotation_period))
@@ -329,6 +536,14 @@ fn run_loop<S: NbtiSensor, T: TraceSink>(
 
     let total = cfg.warmup_cycles + cfg.measure_cycles;
     let mut flits_at_warmup: BTreeMap<PortId, u64> = BTreeMap::new();
+    if cfg.warmup_cycles == 0 {
+        // The warm-up boundary never fires; pin the per-port flit baseline
+        // at the start instead (zero for fresh networks, the restored
+        // lifetime counters for resumed epochs).
+        for &pid in &port_ids {
+            flits_at_warmup.insert(pid, net.flits_received(pid));
+        }
+    }
     let md_period = cfg.md_refresh_period.max(1);
     let mut md_cache: Vec<usize> = vec![0; port_ids.len()];
     // Engine-level work counters (the network counts its own pipeline
@@ -343,19 +558,20 @@ fn run_loop<S: NbtiSensor, T: TraceSink>(
         )
     });
     let mut churn_at_sample: Vec<u64> = vec![0; port_ids.len()];
-    for cycle in 0..total {
-        if cycle % CANCEL_CHECK_PERIOD == 0 && cancel.load(Ordering::Relaxed) {
-            return None;
+    for step in 0..total {
+        if step % CANCEL_CHECK_PERIOD == 0 && cancel.load(Ordering::Relaxed) {
+            return Err(EpochError::Cancelled);
         }
-        if uses_sensors && cycle % md_period == 0 {
+        let now = net.cycle();
+        if uses_sensors && step % md_period == 0 {
             for (i, &pid) in port_ids.iter().enumerate() {
                 let md = monitor.most_degraded(pid);
                 // One sensor sample per VC per election (the `Down_Up`
                 // link reads the whole port).
                 engine_work.sensor_reads += vcs_per_port;
-                if T::ACTIVE && (cycle == 0 || md != md_cache[i]) {
+                if T::ACTIVE && (step == 0 || md != md_cache[i]) {
                     net.trace_mut().emit(TraceEvent {
-                        cycle,
+                        cycle: now,
                         kind: EventKind::DownUp {
                             port: pid.into(),
                             md_vc: md as u8,
@@ -369,7 +585,7 @@ fn run_loop<S: NbtiSensor, T: TraceSink>(
         net.begin_cycle();
         for (i, &pid) in port_ids.iter().enumerate() {
             let view = net.port_view(pid);
-            let action = policies[i].decide(cycle, &view, md_cache[i]);
+            let action = policies[i].decide(now, &view, md_cache[i]);
             engine_work.policy_evaluations += 1;
             net.apply_gate(pid, action);
         }
@@ -386,12 +602,12 @@ fn run_loop<S: NbtiSensor, T: TraceSink>(
             monitor.record_cycle(pid, &statuses);
         }
         if let Some(series) = series.as_mut() {
-            if (cycle + 1) % sample_period == 0 {
+            if (step + 1) % sample_period == 0 {
                 for (i, &pid) in port_ids.iter().enumerate() {
                     let duty = monitor.duty_cycles_percent(pid);
                     let churn_total = net.gate_transitions(pid);
                     series.push(Sample {
-                        cycle: cycle + 1,
+                        cycle: net.cycle(),
                         port: i as u32,
                         duty_percent: duty.iter().sum::<f64>() / duty.len() as f64,
                         occupancy: net.port_occupancy(pid) as u32,
@@ -404,7 +620,7 @@ fn run_loop<S: NbtiSensor, T: TraceSink>(
                 }
             }
         }
-        if net.cycle() == cfg.warmup_cycles {
+        if step + 1 == cfg.warmup_cycles {
             monitor.reset_duty();
             // Stats reset zeroes the violation counter; fold the warm-up era
             // into the whole-run total reported on the result.
@@ -416,8 +632,68 @@ fn run_loop<S: NbtiSensor, T: TraceSink>(
         }
     }
 
+    // Drain phase (epochs only): stop injecting and recording, keep the
+    // policies deciding — gating state keeps evolving deterministically and
+    // its events stay in the digest-covered trace — until the network is
+    // quiescent and the credit loops have had time to close.
+    let mut drain_cycles = 0u64;
+    if let Some(limit) = drain {
+        let settle = cfg.noc.credit_latency + cfg.noc.link_latency + 2;
+        let mut settled = 0u64;
+        loop {
+            if net.is_quiescent() {
+                if settled == settle {
+                    break;
+                }
+                settled += 1;
+            } else {
+                settled = 0;
+            }
+            if drain_cycles == limit {
+                return Err(EpochError::DrainTimeout {
+                    limit,
+                    in_network: net.flits_in_network(),
+                    pending_injection: net.flits_pending_injection(),
+                });
+            }
+            let step = total + drain_cycles;
+            let now = net.cycle();
+            if uses_sensors && step.is_multiple_of(md_period) {
+                for (i, &pid) in port_ids.iter().enumerate() {
+                    let md = monitor.most_degraded(pid);
+                    engine_work.sensor_reads += vcs_per_port;
+                    if T::ACTIVE && md != md_cache[i] {
+                        net.trace_mut().emit(TraceEvent {
+                            cycle: now,
+                            kind: EventKind::DownUp {
+                                port: pid.into(),
+                                md_vc: md as u8,
+                            },
+                        });
+                    }
+                    md_cache[i] = md;
+                }
+            }
+            net.begin_cycle();
+            for (i, &pid) in port_ids.iter().enumerate() {
+                let view = net.port_view(pid);
+                let action = policies[i].decide(now, &view, md_cache[i]);
+                engine_work.policy_evaluations += 1;
+                net.apply_gate(pid, action);
+            }
+            if let Some(budget) = budget {
+                for &pid in &port_ids {
+                    net.check_idle_on_budget(pid, budget);
+                }
+            }
+            net.finish_cycle();
+            drain_cycles += 1;
+        }
+    }
+
     // Duty closure (paper §III-A): every monitored cycle is either stress
-    // or recovery, so per VC the two must sum to the measured window.
+    // or recovery, so per VC the two must sum to the measured window. The
+    // drain phase records nothing, so the closure holds for epochs too.
     let mut violations = net.take_violations();
     let mut duty_violations = 0u64;
     if cfg.invariants.is_enabled() {
@@ -441,6 +717,19 @@ fn run_loop<S: NbtiSensor, T: TraceSink>(
     let invariant_violations =
         warmup_violations + net.stats().invariant_violations + duty_violations;
 
+    // Capture the boundary snapshot after violations are drained (capture
+    // refuses while any are pending) and before telemetry harvest.
+    let snapshot = if drain.is_some() {
+        Some(net.snapshot().map_err(EpochError::Snapshot)?)
+    } else {
+        None
+    };
+    let duty_totals = if drain.is_some() {
+        port_ids.iter().map(|&pid| monitor.duty_totals(pid)).collect()
+    } else {
+        Vec::new()
+    };
+
     let ports = port_ids
         .iter()
         .map(|&pid| PortResult {
@@ -456,7 +745,7 @@ fn run_loop<S: NbtiSensor, T: TraceSink>(
         trace: net.trace_mut().harvest(),
         series,
     });
-    Some(ExperimentResult {
+    let result = ExperimentResult {
         policy: cfg.policy,
         measured_cycles: cfg.measure_cycles,
         ports,
@@ -465,6 +754,12 @@ fn run_loop<S: NbtiSensor, T: TraceSink>(
         violations,
         work: net.work_counters() + engine_work,
         telemetry,
+    };
+    Ok(LoopOutcome {
+        result,
+        snapshot,
+        duty_totals,
+        drain_cycles,
     })
 }
 
@@ -774,6 +1069,116 @@ mod tests {
         let mut traffic = SyntheticTraffic::uniform(mesh, 0.1, 5, 3);
         let already = AtomicBool::new(true);
         assert!(run_experiment_cancellable(&cfg, &mut traffic, &already).is_none());
+    }
+
+    fn epoch_cfg(policy: PolicyKind) -> ExperimentConfig {
+        ExperimentConfig::new(NocConfig::paper_synthetic(4, 2), policy)
+            .with_cycles(500, 4_000)
+            .with_invariants(InvariantLevel::Full)
+            .with_telemetry(TelemetrySpec {
+                trace: true,
+                trace_capacity: 64,
+                sample_period: 0,
+            })
+    }
+
+    fn epoch_traffic(seed: u64) -> SyntheticTraffic {
+        let mesh = noc_sim::topology::Mesh2D::new(2, 2);
+        SyntheticTraffic::uniform(mesh, 0.15, 5, seed)
+    }
+
+    #[test]
+    fn epochs_chain_and_are_deterministic() {
+        let cfg = epoch_cfg(PolicyKind::SensorWise);
+        let run_two = || {
+            let e0 = run_epoch(&cfg, &mut epoch_traffic(11), None, None, 100_000)
+                .expect("epoch 0 runs");
+            let vths: Vec<Vec<Volt>> =
+                e0.result.ports.iter().map(|p| p.initial_vths.clone()).collect();
+            let e1 = run_epoch(
+                &cfg,
+                &mut epoch_traffic(12),
+                Some(&e0.snapshot),
+                Some(&vths),
+                100_000,
+            )
+            .expect("epoch 1 resumes");
+            (e0, e1)
+        };
+        let (a0, a1) = run_two();
+        let (b0, b1) = run_two();
+        // Bit-identical across repetitions, including the event digests.
+        assert_eq!(a0.result.trace_digest(), b0.result.trace_digest());
+        assert_eq!(a1.result.trace_digest(), b1.result.trace_digest());
+        assert_eq!(a0.snapshot, b0.snapshot);
+        assert_eq!(a1.snapshot, b1.snapshot);
+        assert_eq!(a1.result.net, b1.result.net);
+        // The boundary really is past the measured window and drained.
+        assert!(a0.snapshot.cycle >= 4_500);
+        assert!(a1.snapshot.cycle > a0.snapshot.cycle);
+        assert_eq!(a0.result.invariant_violations, 0);
+        assert_eq!(a1.result.invariant_violations, 0);
+        // Duty closure holds per epoch: drain cycles are not recorded.
+        for port in &a1.duty_totals {
+            for &(stress, recovery) in port {
+                assert_eq!(stress + recovery, 4_000);
+            }
+        }
+        assert!(a0.drain_cycles > 0);
+    }
+
+    #[test]
+    fn epoch_zero_matches_standalone_measurement() {
+        // Epoch 0 (fresh network, PV-drawn Vths) must measure exactly what
+        // run_experiment measures — the drain happens after the window.
+        let cfg = epoch_cfg(PolicyKind::RrNoSensor);
+        let standalone = run_experiment(&cfg, &mut epoch_traffic(21));
+        let epoch = run_epoch(&cfg, &mut epoch_traffic(21), None, None, 100_000)
+            .expect("epoch runs");
+        // The drain delivers in-flight flits (so flits_received can grow)
+        // but records no duty and injects nothing.
+        for (s, e) in standalone.ports.iter().zip(&epoch.result.ports) {
+            assert_eq!(s.port, e.port);
+            assert_eq!(s.duty_percent, e.duty_percent);
+            assert_eq!(s.md_vc, e.md_vc);
+            assert_eq!(s.initial_vths, e.initial_vths);
+            assert!(e.flits_received >= s.flits_received);
+        }
+        assert_eq!(
+            standalone.net.packets_injected,
+            epoch.result.net.packets_injected
+        );
+    }
+
+    #[test]
+    fn epoch_rejects_quantized_sensors() {
+        let cfg = ExperimentConfig {
+            sensor: SensorModel::Quantized {
+                lsb: Volt::from_millivolts(0.5),
+                noise_sigma: Volt::from_millivolts(0.25),
+                period: 1_000,
+            },
+            ..epoch_cfg(PolicyKind::SensorWise)
+        };
+        let err = run_epoch(&cfg, &mut epoch_traffic(3), None, None, 1_000)
+            .expect_err("quantized sensors cannot be snapshotted");
+        assert_eq!(err, EpochError::UnsupportedSensor);
+    }
+
+    #[test]
+    fn epoch_rejects_wrong_shape_resume() {
+        let cfg = epoch_cfg(PolicyKind::SensorWise);
+        let e0 = run_epoch(&cfg, &mut epoch_traffic(5), None, None, 100_000).unwrap();
+        let bigger = ExperimentConfig::new(
+            NocConfig::paper_synthetic(16, 2),
+            PolicyKind::SensorWise,
+        )
+        .with_cycles(100, 500);
+        let mesh = noc_sim::topology::Mesh2D::new(4, 4);
+        let mut traffic = SyntheticTraffic::uniform(mesh, 0.1, 5, 1);
+        let err = run_epoch(&bigger, &mut traffic, Some(&e0.snapshot), None, 1_000)
+            .expect_err("shape mismatch must be rejected");
+        assert!(matches!(err, EpochError::Restore(_)), "{err}");
     }
 
     #[test]

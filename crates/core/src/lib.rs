@@ -19,6 +19,9 @@
 //! * [`sweep`] — gap-versus-load sweeps and saturation-point analysis,
 //! * [`codec`] — the wire codec: one JSON schema for experiment specs and
 //!   results shared by the CLI and the `noc-service` HTTP API,
+//! * [`cache`] — content-addressed result memoization: canonical spec JSON
+//!   is the address, identical spec means byte-identical cached result;
+//!   backs the sweep memoization and the service's cache-hit fast path,
 //! * [`parallel`] — the deterministic parallel experiment engine every
 //!   swept artifact fans out through: bounded worker pool, results in
 //!   input order, bit-identical for any worker count.
@@ -48,6 +51,7 @@
 )]
 
 pub mod analysis;
+pub mod cache;
 pub mod codec;
 pub mod experiment;
 pub mod modelcheck;
@@ -57,12 +61,14 @@ pub mod policy;
 pub mod sweep;
 pub mod tables;
 
+pub use cache::{run_batch_cached, spec_key, CachedBatch, MemoryCache, ResultCache};
 pub use codec::{
     result_to_json, spec_from_json, spec_to_json, CodecError, JsonValue, WirePort, WireResult,
 };
 pub use experiment::{
-    run_experiment, run_experiment_cancellable, ExperimentConfig, ExperimentResult, PortResult,
-    SensorModel, SyntheticScenario, LOAD_CALIBRATION,
+    run_epoch, run_experiment, run_experiment_cancellable, EpochError, EpochOutcome,
+    ExperimentConfig, ExperimentResult, PortResult, SensorModel, SyntheticScenario,
+    LOAD_CALIBRATION,
 };
 pub use modelcheck::{model_check, model_check_default, CheckCase, CheckOutcome, ModelCheckReport};
 pub use monitor::NbtiMonitor;

@@ -34,6 +34,37 @@ impl NbtiMonitor<IdealSensor> {
     ) -> Self {
         Self::build(port_ids, num_vcs, pv, model, |_, _| IdealSensor::new())
     }
+
+    /// Builds a monitor with ideal sensors whose per-VC threshold voltages
+    /// are given explicitly instead of drawn from a process-variation
+    /// sampler — the lifetime-campaign hook: `vths[i][v]` is the *aged*
+    /// `Vth` (initial plus accumulated ΔVth) of VC `v` of `port_ids[i]`,
+    /// so sensor elections in the next epoch see the degradation earlier
+    /// epochs produced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vths.len() != port_ids.len()` or any port's vector is
+    /// empty.
+    pub fn with_ideal_sensors_from_vths(
+        port_ids: &[PortId],
+        vths: &[Vec<Volt>],
+        model: LongTermModel,
+    ) -> Self {
+        assert_eq!(
+            port_ids.len(),
+            vths.len(),
+            "one Vth vector per port required"
+        );
+        let mut ports = Vec::with_capacity(port_ids.len());
+        let mut index = BTreeMap::new();
+        for (&pid, port_vths) in port_ids.iter().zip(vths) {
+            let sensors = vec![IdealSensor::new(); port_vths.len()];
+            index.insert(pid, ports.len());
+            ports.push((pid, PortAgeTracker::new(port_vths, sensors, model)));
+        }
+        NbtiMonitor { ports, index }
+    }
 }
 
 impl NbtiMonitor<QuantizedSensor> {

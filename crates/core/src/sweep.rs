@@ -12,11 +12,14 @@
 //! because each probe derives its RNG streams solely from its own seeds.
 //! The unsuffixed entry points are [`default_jobs`]-wide wrappers.
 
+use crate::cache::{run_batch_cached, ResultCache};
+use crate::codec::{CodecError, WireResult};
 use crate::experiment::ExperimentConfig;
 use crate::parallel::{default_jobs, parallel_map, run_batch, ExperimentJob, TrafficSpec};
 use crate::policy::PolicyKind;
 use noc_sim::config::NocConfig;
-use noc_sim::types::NodeId;
+use noc_sim::types::{Direction, NodeId};
+use noc_sim::view::PortId;
 
 /// One point of a gap-versus-load sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -78,20 +81,7 @@ pub fn gap_sweep_jobs(
     jobs: usize,
 ) -> Vec<SweepPoint> {
     assert!(!rates.is_empty(), "at least one rate required");
-    let batch: Vec<ExperimentJob> = rates
-        .iter()
-        .flat_map(|&rate| {
-            SWEEP_POLICIES.into_iter().map(move |policy| ExperimentJob {
-                cfg: ExperimentConfig::new(NocConfig::paper_synthetic(cores, vcs), policy)
-                    .with_cycles(warmup, measure)
-                    .with_pv_seed(seed ^ (vcs as u64) << 8),
-                traffic: TrafficSpec::Uniform {
-                    rate,
-                    seed: seed ^ 0xABCD,
-                },
-            })
-        })
-        .collect();
+    let batch = sweep_batch(cores, vcs, rates, warmup, measure, seed);
     let results = run_batch(&batch, jobs);
     rates
         .iter()
@@ -110,6 +100,114 @@ pub fn gap_sweep_jobs(
             }
         })
         .collect()
+}
+
+/// The `2 × rates.len()` jobs behind one gap sweep, in result order.
+fn sweep_batch(
+    cores: usize,
+    vcs: usize,
+    rates: &[f64],
+    warmup: u64,
+    measure: u64,
+    seed: u64,
+) -> Vec<ExperimentJob> {
+    rates
+        .iter()
+        .flat_map(|&rate| {
+            SWEEP_POLICIES.into_iter().map(move |policy| ExperimentJob {
+                cfg: ExperimentConfig::new(NocConfig::paper_synthetic(cores, vcs), policy)
+                    .with_cycles(warmup, measure)
+                    .with_pv_seed(seed ^ (vcs as u64) << 8),
+                traffic: TrafficSpec::Uniform {
+                    rate,
+                    seed: seed ^ 0xABCD,
+                },
+            })
+        })
+        .collect()
+}
+
+/// Outcome of a memoized gap sweep.
+#[derive(Debug, Clone)]
+pub struct CachedSweep {
+    /// One point per rate, exactly as [`gap_sweep_jobs`] would produce.
+    pub points: Vec<SweepPoint>,
+    /// Probes served from the cache.
+    pub hits: usize,
+    /// Probes computed (and stored) this call.
+    pub misses: usize,
+}
+
+/// [`gap_sweep_jobs`] through a [`ResultCache`]: already-computed probes
+/// (same mesh, VCs, rate, cycles and seed) are skipped, only the missing
+/// ones run, and every computed probe is persisted for the next sweep.
+/// Re-sweeping a superset of rates therefore only pays for the new rates.
+///
+/// The points are reconstructed from the cached [`WireResult`]s; since the
+/// wire codec round-trips every field the sweep reads (duty cycles,
+/// latency, flit counts) exactly, a fully-cached sweep is bit-identical to
+/// a fresh one.
+///
+/// # Errors
+///
+/// Returns an error when the wire schema cannot express a probe or a
+/// cached row lacks the sampled port.
+///
+/// # Panics
+///
+/// Panics if `rates` is empty, `jobs` is zero, or the configuration is
+/// invalid.
+#[allow(clippy::too_many_arguments)] // mirrors gap_sweep_jobs + the cache handle
+pub fn gap_sweep_cached(
+    cores: usize,
+    vcs: usize,
+    rates: &[f64],
+    warmup: u64,
+    measure: u64,
+    seed: u64,
+    jobs: usize,
+    cache: &(dyn ResultCache + Sync),
+) -> Result<CachedSweep, CodecError> {
+    assert!(!rates.is_empty(), "at least one rate required");
+    let batch = sweep_batch(cores, vcs, rates, warmup, measure, seed);
+    let outcome = run_batch_cached(&batch, jobs, cache)?;
+    let sampled = PortId::router_input(NodeId(0), Direction::East).to_string();
+    let md_duty = |r: &WireResult| -> Result<f64, CodecError> {
+        let row = r
+            .ports
+            .iter()
+            .find(|p| p.port == sampled)
+            .ok_or_else(|| CodecError::new(format!("cached result lacks port {sampled}")))?;
+        row.duty_percent.get(row.md_vc).copied().ok_or_else(|| {
+            CodecError::new(format!("cached result has no duty for VC {}", row.md_vc))
+        })
+    };
+    let points = rates
+        .iter()
+        .zip(outcome.results.chunks_exact(SWEEP_POLICIES.len()))
+        .map(|(&rate, pair)| {
+            let (rr, sw) = (&pair[0], &pair[1]);
+            let rr_md_duty = md_duty(rr)?;
+            let sw_md_duty = md_duty(sw)?;
+            Ok(SweepPoint {
+                rate,
+                rr_md_duty,
+                sw_md_duty,
+                gap: rr_md_duty - sw_md_duty,
+                sw_latency: sw.avg_latency.unwrap_or(f64::NAN),
+                sw_throughput: if sw.measured_cycles == 0 {
+                    0.0
+                } else {
+                    sw.flits_ejected as f64 / sw.measured_cycles as f64
+                },
+            })
+        })
+        .collect::<Result<Vec<_>, CodecError>>()?;
+    Ok(CachedSweep {
+        points,
+        hits: outcome.hits,
+        misses: outcome.misses,
+    })
 }
 
 /// The rate at which the sweep's gap peaks.
@@ -308,5 +406,28 @@ mod tests {
     #[should_panic(expected = "at least one rate")]
     fn empty_sweep_panics() {
         let _ = gap_sweep(4, 2, &[], 10, 10, 0);
+    }
+
+    #[test]
+    fn cached_sweep_matches_uncached_and_skips_computed_rates() {
+        use crate::cache::MemoryCache;
+        let cache = MemoryCache::new();
+        let direct = gap_sweep_jobs(4, 2, &[0.1, 0.3], 300, 2_000, 3, 2);
+        let first = gap_sweep_cached(4, 2, &[0.1, 0.3], 300, 2_000, 3, 2, &cache).unwrap();
+        assert_eq!((first.hits, first.misses), (0, 4));
+        // A superset sweep only pays for the new rate.
+        let wider =
+            gap_sweep_cached(4, 2, &[0.1, 0.3, 0.5], 300, 2_000, 3, 2, &cache).unwrap();
+        assert_eq!((wider.hits, wider.misses), (4, 2));
+        for (d, c) in direct.iter().zip(&wider.points) {
+            assert_eq!(d.rate, c.rate);
+            assert_eq!(d.rr_md_duty.to_bits(), c.rr_md_duty.to_bits());
+            assert_eq!(d.sw_md_duty.to_bits(), c.sw_md_duty.to_bits());
+            assert_eq!(d.sw_latency.to_bits(), c.sw_latency.to_bits());
+            assert_eq!(d.sw_throughput.to_bits(), c.sw_throughput.to_bits());
+        }
+        // Changing the seed misses everything.
+        let other = gap_sweep_cached(4, 2, &[0.1], 300, 2_000, 4, 1, &cache).unwrap();
+        assert_eq!((other.hits, other.misses), (0, 2));
     }
 }

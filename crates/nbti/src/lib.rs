@@ -59,7 +59,7 @@ pub use delay::AlphaPowerModel;
 pub use duty::{DutyCycleCounter, StressState};
 pub use model::{LongTermModel, NbtiParams};
 pub use projection::{vth_saving_percent, ProjectionPoint, VthProjection};
-pub use rd::RdCycleModel;
+pub use rd::{RdCycleModel, RdState};
 pub use sensor::{
     most_degraded_by_reading, FaultMode, FaultySensor, IdealSensor, NbtiSensor, QuantizedSensor,
 };

@@ -158,6 +158,50 @@ impl RdCycleModel {
         self.stress_age_s = 0.0;
         self.total_age_s = 0.0;
     }
+
+    /// The walker's complete mutable state, for checkpointing. Everything
+    /// else (`amplitude`, `n`, `eta`) is derived from the model at
+    /// construction, so `state` + the model reproduce the walker exactly.
+    pub fn state(&self) -> RdState {
+        RdState {
+            delta_vth_v: self.delta_vth,
+            stress_age_s: self.stress_age_s,
+            total_age_s: self.total_age_s,
+        }
+    }
+
+    /// Restores state previously read with [`state`](Self::state),
+    /// bit-exactly (no re-derivation through the power law, which would
+    /// not round-trip in floating point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component is negative or non-finite.
+    pub fn restore_state(&mut self, state: RdState) {
+        assert!(
+            state.delta_vth_v.is_finite()
+                && state.stress_age_s.is_finite()
+                && state.total_age_s.is_finite()
+                && state.delta_vth_v >= 0.0
+                && state.stress_age_s >= 0.0
+                && state.total_age_s >= 0.0,
+            "invalid walker state {state:?}"
+        );
+        self.delta_vth = state.delta_vth_v;
+        self.stress_age_s = state.stress_age_s;
+        self.total_age_s = state.total_age_s;
+    }
+}
+
+/// The serializable mutable state of an [`RdCycleModel`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RdState {
+    /// Current threshold shift in volts.
+    pub delta_vth_v: f64,
+    /// Equivalent cumulative stress age in seconds.
+    pub stress_age_s: f64,
+    /// Total integrated time in seconds.
+    pub total_age_s: f64,
 }
 
 #[cfg(test)]
@@ -296,5 +340,36 @@ mod tests {
     #[should_panic(expected = "eta must be positive")]
     fn zero_eta_panics() {
         let _ = RdCycleModel::with_eta(LongTermModel::calibrated_45nm(), 0.0);
+    }
+
+    #[test]
+    fn state_round_trips_bit_exactly_and_resumes_identically() {
+        let mut a = walker();
+        for e in 0..1_000 {
+            if e % 3 == 0 {
+                a.stress(7.0);
+            } else {
+                a.recover(2.0);
+            }
+        }
+        let mut b = walker();
+        b.restore_state(a.state());
+        assert_eq!(a, b);
+        a.stress(123.0);
+        a.recover(45.0);
+        b.stress(123.0);
+        b.recover(45.0);
+        assert_eq!(a.delta_vth().as_volts().to_bits(), b.delta_vth().as_volts().to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid walker state")]
+    fn negative_state_is_rejected() {
+        let mut rd = walker();
+        rd.restore_state(RdState {
+            delta_vth_v: -1.0,
+            stress_age_s: 0.0,
+            total_age_s: 0.0,
+        });
     }
 }

@@ -40,6 +40,23 @@ impl RoundRobinArbiter {
         self.n
     }
 
+    /// The index that holds highest priority in the next round — the
+    /// arbiter's only mutable state, exposed for snapshot/restore.
+    pub fn priority(&self) -> usize {
+        self.next
+    }
+
+    /// Restores a priority pointer previously read with
+    /// [`priority`](Self::priority).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `next` is out of range for this arbiter.
+    pub fn set_priority(&mut self, next: usize) {
+        assert!(next < self.n, "priority {next} out of range (n = {})", self.n);
+        self.next = next;
+    }
+
     /// Always `false`: the constructor rejects zero requesters.
     pub fn is_empty(&self) -> bool {
         false

@@ -46,6 +46,7 @@ pub mod network;
 mod nic;
 mod router;
 pub mod routing;
+pub mod snapshot;
 pub mod stats;
 pub mod topology;
 pub mod types;
@@ -60,6 +61,7 @@ pub use config::NocConfig;
 pub use invariants::{InvariantKind, InvariantLevel, InvariantViolation};
 pub use network::Network;
 pub use routing::RoutingAlgorithm;
+pub use snapshot::{NetworkSnapshot, PortState, SnapshotStateError};
 pub use stats::NetStats;
 pub use topology::Mesh2D;
 pub use types::{Direction, NodeId};

@@ -23,6 +23,7 @@ use crate::invariants::{
 };
 use crate::nic::{Nic, PendingPacket};
 use crate::router::{Router, SaWinner, NUM_PORTS};
+use crate::snapshot::{NetworkSnapshot, PortState, SnapshotStateError};
 use crate::stats::NetStats;
 use crate::topology::Mesh2D;
 use crate::types::{Direction, NodeId};
@@ -793,6 +794,191 @@ impl<T: TraceSink> Network<T> {
         std::mem::take(&mut self.violations)
     }
 
+    /// Captures a drained-boundary [`NetworkSnapshot`].
+    ///
+    /// The network must be *settled*: fully quiescent (no flits anywhere,
+    /// nothing pending injection), every credit loop closed (all output VCs
+    /// idle with full credits, no credits in flight) and no undrained
+    /// invariant violations. After [`is_quiescent`](Self::is_quiescent)
+    /// turns true, stepping `credit_latency + link_latency` more cycles
+    /// guarantees the credit loops have closed.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`SnapshotStateError`] naming the unsettled state; nothing
+    /// is ever silently dropped.
+    pub fn snapshot(&self) -> Result<NetworkSnapshot, SnapshotStateError> {
+        let in_network = self.flits_in_network();
+        let pending_injection = self.flits_pending_injection();
+        if in_network != 0 || pending_injection != 0 {
+            return Err(SnapshotStateError::NotQuiescent {
+                in_network,
+                pending_injection,
+            });
+        }
+        if !self.violations.is_empty() {
+            return Err(SnapshotStateError::PendingViolations {
+                count: self.violations.len(),
+            });
+        }
+        let depth = self.cfg.buffer_depth;
+        let mut ports = Vec::with_capacity(self.port_ids.len());
+        for &pid in &self.port_ids {
+            let (up, _) = self.resolve(pid);
+            let out = match up {
+                Upstream::RouterOut { node, port } => &self.routers[node].outputs[port],
+                Upstream::NicInject { node } => &self.nics[node].inject,
+            };
+            let settled = out.credit_arrivals.is_empty()
+                && out
+                    .vcs
+                    .iter()
+                    .all(|v| v.state == OutVcState::Idle && v.credits == depth);
+            if !settled {
+                return Err(SnapshotStateError::CreditsOutstanding { port: pid });
+            }
+            let unit = self.down_unit(pid);
+            let mut powered_mask = 0u32;
+            for (v, vc) in unit.vcs.iter().enumerate() {
+                debug_assert!(vc.buffer.is_empty() && vc.state == InVcState::Idle);
+                if vc.powered {
+                    powered_mask |= 1 << v;
+                }
+            }
+            let mut allocatable_mask = 0u32;
+            for (v, vc) in out.vcs.iter().enumerate() {
+                if vc.allocatable {
+                    allocatable_mask |= 1 << v;
+                }
+            }
+            ports.push(PortState {
+                powered_mask,
+                allocatable_mask,
+                usable_at: out.vcs.iter().map(|v| v.usable_at).collect(),
+                gate_transitions: unit.gate_transitions,
+                flits_received: unit.flits_received,
+            });
+        }
+        let mut arbiters = Vec::with_capacity(self.routers.len() * NUM_PORTS * 3);
+        for r in &self.routers {
+            for p in 0..NUM_PORTS {
+                arbiters.push(r.outputs[p].va_arb.priority() as u32);
+                arbiters.push(r.outputs[p].sa_arb.priority() as u32);
+                arbiters.push(r.sa_in_arbs[p].priority() as u32);
+            }
+        }
+        Ok(NetworkSnapshot {
+            cycle: self.cycle,
+            next_packet: self.next_packet,
+            flits_sent_total: self.flits_sent_total,
+            flits_ejected_total: self.flits_ejected_total,
+            stats: self.stats,
+            work: self.work,
+            ports,
+            arbiters,
+        })
+    }
+
+    /// Applies a drained-boundary snapshot onto this freshly built
+    /// network, after which its behaviour is bit-identical to the network
+    /// the snapshot was captured from continuing past the boundary.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotStateError::TargetNotFresh`] if this network has already
+    /// stepped, [`SnapshotStateError::ShapeMismatch`] if the snapshot was
+    /// captured from a network of a different shape.
+    pub fn restore(&mut self, snap: &NetworkSnapshot) -> Result<(), SnapshotStateError> {
+        if self.cycle != 0 || self.next_packet != 0 {
+            return Err(SnapshotStateError::TargetNotFresh { cycle: self.cycle });
+        }
+        if snap.ports.len() != self.port_ids.len() {
+            return Err(SnapshotStateError::ShapeMismatch {
+                what: "ports",
+                got: snap.ports.len(),
+                want: self.port_ids.len(),
+            });
+        }
+        let want_arbs = self.routers.len() * NUM_PORTS * 3;
+        if snap.arbiters.len() != want_arbs {
+            return Err(SnapshotStateError::ShapeMismatch {
+                what: "arbiters",
+                got: snap.arbiters.len(),
+                want: want_arbs,
+            });
+        }
+        let vcs = self.cfg.vcs_per_port;
+        for (i, ps) in snap.ports.iter().enumerate() {
+            if ps.usable_at.len() != vcs {
+                return Err(SnapshotStateError::ShapeMismatch {
+                    what: "VCs",
+                    got: ps.usable_at.len(),
+                    want: vcs,
+                });
+            }
+            let pid = self.port_ids[i];
+            let (up, down) = self.resolve(pid);
+            match up {
+                Upstream::RouterOut { node, port } => {
+                    let out = &mut self.routers[node].outputs[port];
+                    for (v, vc) in out.vcs.iter_mut().enumerate() {
+                        vc.allocatable = ps.allocatable_mask & (1 << v) != 0;
+                        vc.usable_at = ps.usable_at[v];
+                    }
+                }
+                Upstream::NicInject { node } => {
+                    let inj = &mut self.nics[node].inject;
+                    for (v, vc) in inj.vcs.iter_mut().enumerate() {
+                        vc.allocatable = ps.allocatable_mask & (1 << v) != 0;
+                        vc.usable_at = ps.usable_at[v];
+                    }
+                }
+            }
+            let unit = match down {
+                Downstream::RouterIn { node, port } => &mut self.routers[node].inputs[port],
+                Downstream::NicEject { node } => &mut self.nics[node].eject,
+            };
+            for (v, vc) in unit.vcs.iter_mut().enumerate() {
+                vc.powered = ps.powered_mask & (1 << v) != 0;
+            }
+            unit.gate_transitions = ps.gate_transitions;
+            unit.flits_received = ps.flits_received;
+        }
+        let mut it = snap.arbiters.iter().copied();
+        for r in &mut self.routers {
+            for p in 0..NUM_PORTS {
+                let out = &mut r.outputs[p];
+                for arb in [&mut out.va_arb, &mut out.sa_arb] {
+                    let next = it.next().map_or(0, |v| v as usize);
+                    if next >= arb.len() {
+                        return Err(SnapshotStateError::ShapeMismatch {
+                            what: "arbiter slots",
+                            got: next,
+                            want: arb.len(),
+                        });
+                    }
+                    arb.set_priority(next);
+                }
+                let next = it.next().map_or(0, |v| v as usize);
+                if next >= r.sa_in_arbs[p].len() {
+                    return Err(SnapshotStateError::ShapeMismatch {
+                        what: "arbiter slots",
+                        got: next,
+                        want: r.sa_in_arbs[p].len(),
+                    });
+                }
+                r.sa_in_arbs[p].set_priority(next);
+            }
+        }
+        self.cycle = snap.cycle;
+        self.next_packet = snap.next_packet;
+        self.flits_sent_total = snap.flits_sent_total;
+        self.flits_ejected_total = snap.flits_ejected_total;
+        self.stats = snap.stats;
+        self.work = snap.work;
+        Ok(())
+    }
+
     /// Runs one invariant check pass at the configured level immediately
     /// (called automatically at the end of every cycle when the level is
     /// not `Off`; exposed so tests can probe a hand-corrupted state).
@@ -1393,5 +1579,101 @@ mod tests {
     fn view_of_boundary_port_panics() {
         let n = net(4, 2);
         let _ = n.port_view(PortId::router_input(NodeId(0), Direction::North));
+    }
+
+    /// Steps past quiescence until every credit loop has closed.
+    fn drain_and_settle(n: &mut Network) {
+        for _ in 0..5_000 {
+            n.step();
+            if n.is_quiescent() {
+                break;
+            }
+        }
+        assert!(n.is_quiescent(), "network failed to drain");
+        let settle = n.config().credit_latency + n.config().link_latency + 2;
+        for _ in 0..settle {
+            n.step();
+        }
+    }
+
+    #[test]
+    fn snapshot_refuses_unsettled_state() {
+        let mut n = net(4, 2);
+        n.inject_packet(NodeId(0), NodeId(3));
+        n.step();
+        assert!(matches!(
+            n.snapshot(),
+            Err(SnapshotStateError::NotQuiescent { .. })
+        ));
+    }
+
+    #[test]
+    fn restore_refuses_stepped_target_and_wrong_shape() {
+        let mut a = net(4, 2);
+        drain_and_settle(&mut a);
+        let snap = a.snapshot().expect("settled network snapshots");
+        let mut stepped = net(4, 2);
+        stepped.step();
+        assert!(matches!(
+            stepped.restore(&snap),
+            Err(SnapshotStateError::TargetNotFresh { .. })
+        ));
+        let mut other_shape = net(16, 2);
+        assert!(matches!(
+            other_shape.restore(&snap),
+            Err(SnapshotStateError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        // Phase 1 on A only: cross traffic plus gating churn, so arbiter
+        // pointers, gating masks and lifetime counters all leave their
+        // reset values before the boundary.
+        let mut a = net(16, 2);
+        let gated = PortId::router_input(NodeId(5), Direction::East);
+        for i in 0..16 {
+            a.inject_packet(NodeId(i), NodeId(15 - i));
+        }
+        for _ in 0..40 {
+            a.begin_cycle();
+            a.apply_gate(gated, GateAction::NoChange);
+            a.finish_cycle();
+        }
+        drain_and_settle(&mut a);
+        a.begin_cycle();
+        a.apply_gate(gated, GateAction::KeepOneIdle { vc: 1 });
+        a.finish_cycle();
+        drain_and_settle(&mut a);
+
+        let snap = a.snapshot().expect("settled network snapshots");
+        let mut b = net(16, 2);
+        b.restore(&snap).expect("same-shape restore");
+        assert_eq!(b.cycle(), a.cycle());
+        assert_eq!(b.snapshot().expect("still settled"), snap);
+
+        // Phase 2 on both: identical inputs must produce identical
+        // behaviour, including the gating state carried over.
+        for n in [&mut a, &mut b] {
+            for i in 0..16 {
+                n.inject_packet(NodeId(i), NodeId((i * 7) % 16));
+            }
+            for _ in 0..600 {
+                n.step();
+            }
+        }
+        assert!(a.is_quiescent() && b.is_quiescent());
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.work_counters(), b.work_counters());
+        assert_eq!(
+            a.powered_vc_count(gated),
+            b.powered_vc_count(gated),
+            "gating mask must survive the round-trip"
+        );
+        assert_eq!(
+            a.snapshot().expect("drained"),
+            b.snapshot().expect("drained"),
+            "post-resume snapshots must be bit-identical"
+        );
     }
 }

@@ -40,7 +40,7 @@ pub(crate) struct Router {
     /// Output units indexed by [`Direction::index`].
     pub outputs: Vec<OutputUnit>,
     /// Per-input-port switch-allocation arbiters (over VCs).
-    sa_in_arbs: Vec<RoundRobinArbiter>,
+    pub sa_in_arbs: Vec<RoundRobinArbiter>,
 }
 
 impl Router {

@@ -26,6 +26,8 @@ use crate::http::{read_request, write_json_response, Request};
 use crate::jobs::{JobCounts, JobState, JobTable};
 use crate::queue::{BoundedQueue, PushError};
 use sensorwise::codec::{json_string, result_to_json, spec_from_json, spec_to_json, JsonValue};
+use sensorwise::ResultCache;
+use std::fmt;
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -82,6 +84,9 @@ pub struct ShutdownReport {
     pub dropped: u64,
     /// Submissions refused with `429` (never accepted, never owed).
     pub rejected_busy: u64,
+    /// Submissions answered from the result cache (a subset of
+    /// `completed`: hits finish terminally at accept time).
+    pub cache_hits: u64,
 }
 
 impl ShutdownReport {
@@ -93,10 +98,24 @@ impl ShutdownReport {
     }
 }
 
+/// A shared result cache behind the server: hits answer submissions
+/// without occupying a worker, completed runs are written back.
+struct CacheHandle(Arc<dyn ResultCache + Send + Sync>);
+
+impl fmt::Debug for CacheHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("CacheHandle(..)")
+    }
+}
+
 #[derive(Debug)]
 struct Shared {
     queue: BoundedQueue<u64>,
     table: JobTable,
+    /// Optional content-addressed result cache.
+    cache: Option<CacheHandle>,
+    /// Submissions answered straight from the cache.
+    cache_hits: AtomicU64,
     /// `false` once shutdown starts: `POST /jobs` answers `503`.
     accepting: AtomicBool,
     /// Set by `POST /shutdown` and `request_shutdown`.
@@ -128,6 +147,21 @@ impl Server {
     ///
     /// Invalid configuration or a failed bind.
     pub fn start(cfg: &ServiceConfig) -> Result<Server, String> {
+        Server::start_with_cache(cfg, None)
+    }
+
+    /// Like [`Server::start`], but with a content-addressed result cache:
+    /// a submission whose canonical spec is already cached is answered
+    /// terminally at accept time — no queue slot, no worker — and every
+    /// computed result is written back for the next submitter.
+    ///
+    /// # Errors
+    ///
+    /// Invalid configuration or a failed bind.
+    pub fn start_with_cache(
+        cfg: &ServiceConfig,
+        cache: Option<Arc<dyn ResultCache + Send + Sync>>,
+    ) -> Result<Server, String> {
         if cfg.workers == 0 {
             return Err("--workers must be at least 1".to_string());
         }
@@ -146,6 +180,8 @@ impl Server {
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(cfg.queue_depth),
             table: JobTable::default(),
+            cache: cache.map(CacheHandle),
+            cache_hits: AtomicU64::new(0),
             accepting: AtomicBool::new(true),
             shutdown: AtomicBool::new(false),
             force: AtomicBool::new(false),
@@ -223,6 +259,12 @@ impl Server {
     pub fn counts(&self) -> JobCounts {
         self.shared.table.counts()
     }
+
+    /// Submissions answered straight from the result cache (0 when the
+    /// server runs without one).
+    pub fn cache_hits(&self) -> u64 {
+        self.shared.cache_hits.load(Ordering::Relaxed)
+    }
 }
 
 fn report_from(shared: &Shared, c: &JobCounts) -> ShutdownReport {
@@ -234,6 +276,7 @@ fn report_from(shared: &Shared, c: &JobCounts) -> ShutdownReport {
         timed_out: c.timed_out,
         dropped: c.dropped,
         rejected_busy: shared.rejected_busy.load(Ordering::Relaxed),
+        cache_hits: shared.cache_hits.load(Ordering::Relaxed),
     }
 }
 
@@ -261,6 +304,11 @@ fn worker_loop(shared: &Shared) {
             Ok(Some(result)) => {
                 let digest = result.trace_digest();
                 let json = result_to_json(&result);
+                if let Some(cache) = &shared.cache {
+                    if let Some(spec) = shared.table.with(id, |r| r.spec_json.clone()) {
+                        cache.0.put(&spec, &sensorwise::WireResult::from(&result));
+                    }
+                }
                 shared
                     .table
                     .finish(id, JobState::Done, Some(json), digest, None);
@@ -374,6 +422,24 @@ fn submit(req: &Request, shared: &Shared) -> Routed {
             return plain(400, format!("{{\"error\":{}}}", json_string(&e.to_string())));
         }
     };
+    // Cache fast path: a memoized spec is answered terminally at accept
+    // time — the job record exists (status/result polls work as usual)
+    // but no queue slot or worker is ever consumed.
+    if let Some(cache) = &shared.cache {
+        if let Some(wire) = cache.0.get(&canonical) {
+            let id = shared.table.insert(job, canonical);
+            shared.accepted.fetch_add(1, Ordering::Relaxed);
+            shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+            let digest = wire.trace_digest;
+            shared
+                .table
+                .finish(id, JobState::Done, Some(wire.to_json()), digest, None);
+            return plain(
+                202,
+                format!("{{\"id\":{id},\"status\":\"done\",\"cached\":true}}"),
+            );
+        }
+    }
     let id = shared.table.insert(job, canonical);
     match shared.queue.try_push(id) {
         Ok(()) => {
@@ -434,12 +500,14 @@ fn stats(shared: &Shared) -> Routed {
     let c = shared.table.counts();
     let body = format!(
         "{{\"accepting\":{},\"queue_len\":{},\"queue_depth\":{},\"accepted\":{},\"rejected_busy\":{},\
+         \"cache_hits\":{},\
          \"queued\":{},\"running\":{},\"done\":{},\"failed\":{},\"cancelled\":{},\"timed_out\":{},\"dropped\":{}}}",
         shared.accepting.load(Ordering::SeqCst),
         shared.queue.len(),
         shared.queue.capacity(),
         shared.accepted.load(Ordering::Relaxed),
         shared.rejected_busy.load(Ordering::Relaxed),
+        shared.cache_hits.load(Ordering::Relaxed),
         c.queued,
         c.running,
         c.done,

@@ -101,6 +101,10 @@ impl EventDigest {
                 self.fold_u64(kind.len() as u64);
                 self.fold(kind.as_bytes());
             }
+            EventKind::EpochEnd { index, digest } => {
+                self.fold_u64(u64::from(*index));
+                self.fold_u64(*digest);
+            }
         }
     }
 

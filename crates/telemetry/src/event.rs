@@ -162,6 +162,16 @@ pub enum EventKind {
         /// The invariant's kebab-case identifier.
         kind: String,
     },
+    /// A lifetime-campaign epoch completed at this cycle. `digest` is the
+    /// epoch's own whole-stream [`EventDigest`](crate::digest::EventDigest)
+    /// value; folding these boundary events into a campaign-level digest
+    /// chains per-epoch streams into one resumable determinism witness.
+    EpochEnd {
+        /// Zero-based epoch index within the campaign.
+        index: u32,
+        /// The completed epoch's event-stream digest.
+        digest: u64,
+    },
 }
 
 impl EventKind {
@@ -177,11 +187,12 @@ impl EventKind {
             EventKind::FlitEject { .. } => "eject",
             EventKind::PacketDone { .. } => "done",
             EventKind::Violation { .. } => "violation",
+            EventKind::EpochEnd { .. } => "epoch",
         }
     }
 
     /// Every tag, in canonical (digest tag-byte) order.
-    pub const TAGS: [&'static str; 9] = [
+    pub const TAGS: [&'static str; 10] = [
         "gate_on",
         "gate_off",
         "up_down",
@@ -191,6 +202,7 @@ impl EventKind {
         "eject",
         "done",
         "violation",
+        "epoch",
     ];
 }
 
@@ -246,6 +258,9 @@ impl TraceEvent {
             ),
             EventKind::Violation { kind } => {
                 write!(out, r#"{{"c":{c},"t":"{t}","kind":"{kind}"}}"#)
+            }
+            EventKind::EpochEnd { index, digest } => {
+                write!(out, r#"{{"c":{c},"t":"{t}","idx":{index},"dg":"{digest:016x}"}}"#)
             }
         };
         out.push('\n');
@@ -307,6 +322,14 @@ impl TraceEvent {
             },
             "violation" => EventKind::Violation {
                 kind: field_str(line, "kind")?.to_string(),
+            },
+            "epoch" => EventKind::EpochEnd {
+                index: field_u64(line, "idx")? as u32,
+                digest: {
+                    let hex = field_str(line, "dg")?;
+                    u64::from_str_radix(hex, 16)
+                        .map_err(|_| ParseError::new(format!("bad digest hex `{hex}`")))?
+                },
             },
             other => return Err(ParseError::new(format!("unknown event tag `{other}`"))),
         };
@@ -466,6 +489,13 @@ mod tests {
                 cycle: 23,
                 kind: EventKind::Violation {
                     kind: "gating-safety".to_string(),
+                },
+            },
+            TraceEvent {
+                cycle: 5_000,
+                kind: EventKind::EpochEnd {
+                    index: 2,
+                    digest: 0xdead_beef_cafe_f00d,
                 },
             },
         ]

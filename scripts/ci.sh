@@ -7,7 +7,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline
-cargo test -q --offline
+cargo test -q --offline --workspace
 cargo clippy --all-targets --offline -- -D warnings
 
 # Determinism lint: the workspace must be clean, and the fixture tree must
@@ -33,7 +33,7 @@ cargo run -q --release --offline -p nbti-noc-bench --bin model_check > /dev/null
 # Telemetry smoke: a traced run must produce a parseable event trace and a
 # non-empty metrics series, and `stats` must re-derive a digest from it.
 teldir=$(mktemp -d)
-trap 'rm -rf "$teldir" "${servedir:-}"; [ -n "${serve_pid:-}" ] && kill "$serve_pid" 2>/dev/null || true' EXIT
+trap 'rm -rf "$teldir" "${servedir:-}" "${campdir:-}"; [ -n "${serve_pid:-}" ] && kill "$serve_pid" 2>/dev/null || true; [ -n "${camp_pid:-}" ] && kill "$camp_pid" 2>/dev/null || true' EXIT
 ./target/release/nbti-noc run --cores 4 --vcs 2 --rate 0.1 --policy sw \
     --warmup 200 --measure 2000 \
     --trace-out "$teldir/events.jsonl" --metrics-out "$teldir/metrics.csv" \
@@ -78,5 +78,45 @@ grep -q "accepted 6 | completed 6" "$servedir/serve.log" || {
     exit 1
 }
 rm -rf "$servedir"
+
+# Campaign smoke: SIGKILL a 4-epoch lifetime campaign mid-flight, resume
+# from its checkpoint, and require the final chained digest to match an
+# uninterrupted run of the same spec bit for bit.
+campdir=$(mktemp -d)
+./target/release/nbti-noc campaign run --checkpoint "$campdir/straight.ckpt" \
+    --epochs 4 --warmup 300 --measure 10000 > "$campdir/straight.log" 2>&1
+straight=$(sed -n 's/^chained digest: //p' "$campdir/straight.log")
+[ -n "$straight" ] || { echo "ci: campaign reported no chained digest" >&2; exit 1; }
+./target/release/nbti-noc campaign run --checkpoint "$campdir/killed.ckpt" \
+    --epochs 4 --warmup 300 --measure 10000 > "$campdir/killed.log" 2>&1 &
+camp_pid=$!
+for _ in $(seq 1 200); do
+    [ -s "$campdir/killed.ckpt" ] && break
+    sleep 0.02
+done
+kill -9 "$camp_pid" 2>/dev/null || true
+wait "$camp_pid" 2>/dev/null || true
+camp_pid=""
+[ -s "$campdir/killed.ckpt" ] || { echo "ci: no checkpoint written before kill" >&2; exit 1; }
+./target/release/nbti-noc campaign resume --checkpoint "$campdir/killed.ckpt" \
+    > "$campdir/resumed.log" 2>&1 || {
+    cat "$campdir/resumed.log" >&2
+    echo "ci: campaign resume failed" >&2
+    exit 1
+}
+resumed=$(sed -n 's/^chained digest: //p' "$campdir/resumed.log")
+[ "$straight" = "$resumed" ] || {
+    echo "ci: resumed campaign digest $resumed != uninterrupted $straight" >&2
+    exit 1
+}
+rm -rf "$campdir"
+
+# Bench trajectories: the serving and campaign benches must run clean and
+# append to their BENCH_*.json files (small configurations — this gates
+# the harnesses, not absolute numbers).
+cargo run -q --release --offline -p nbti-noc-bench --bin service_throughput -- \
+    --count 8 --measure 1000 > /dev/null
+cargo run -q --release --offline -p nbti-noc-bench --bin campaign_epochs -- \
+    --epochs 4 --measure 1500 --warmup 300 > /dev/null
 
 echo "ci: all green"

@@ -9,9 +9,16 @@
 //!                 [--trace-out FILE] [--metrics-out FILE] [--sample-period N]
 //! nbti-noc stats  --trace FILE
 //! nbti-noc area
-//! nbti-noc serve  [--addr A] [--workers N] [--queue-depth N] [--timeout-ms N]
+//! nbti-noc serve  [--addr A] [--workers N] [--queue-depth N] [--timeout-ms N] [--cache-dir DIR]
 //! nbti-noc submit [--addr A] [--count N] [--concurrency N] [--cores N] [--vcs V]
 //!                 [--rate R] [--policy P] [--warmup N] [--measure N] [--seed N] [--shutdown]
+//! nbti-noc campaign run    --checkpoint FILE [--epochs N] [--age-acceleration F] [--drain-limit N]
+//!                          [--cores N] [--vcs V] [--rate R] [--policy P] [--warmup N] [--measure N]
+//!                          [--seed N] [--pv-seed N] [--store DIR]
+//! nbti-noc campaign resume --checkpoint FILE [--store DIR]
+//! nbti-noc campaign status --checkpoint FILE
+//! nbti-noc cache stats --dir DIR
+//! nbti-noc cache gc    --dir DIR --keep N
 //! nbti-noc help
 //! ```
 //!
@@ -267,28 +274,39 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         queue_depth: args.get("queue-depth", 16usize)?,
         job_timeout_ms: args.get("timeout-ms", 0u64)?,
     };
-    let server = noc_service::Server::start(&cfg)?;
+    let cache: Option<std::sync::Arc<dyn sensorwise::ResultCache + Send + Sync>> =
+        match args.flags.get("cache-dir") {
+            None => None,
+            Some(dir) => Some(std::sync::Arc::new(
+                noc_campaign::FsResultStore::open(dir).map_err(|e| e.to_string())?,
+            )),
+        };
+    let server = noc_service::Server::start_with_cache(&cfg, cache)?;
     println!("listening on {}", server.local_addr());
     eprintln!(
-        "{} workers, queue depth {}, job timeout {}",
+        "{} workers, queue depth {}, job timeout {}, cache {}",
         cfg.workers,
         cfg.queue_depth,
         if cfg.job_timeout_ms == 0 {
             "off".to_string()
         } else {
             format!("{} ms", cfg.job_timeout_ms)
-        }
+        },
+        args.flags
+            .get("cache-dir")
+            .map_or("off".to_string(), |d| d.clone())
     );
     let report = server.wait();
     println!(
-        "shutdown: accepted {} | completed {} failed {} cancelled {} timed_out {} dropped {} | rejected_busy {}",
+        "shutdown: accepted {} | completed {} failed {} cancelled {} timed_out {} dropped {} | rejected_busy {} cache_hits {}",
         report.accepted,
         report.completed,
         report.failed,
         report.cancelled,
         report.timed_out,
         report.dropped,
-        report.rejected_busy
+        report.rejected_busy,
+        report.cache_hits
     );
     if report.accounts_for_all() {
         Ok(())
@@ -404,10 +422,7 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     let measure = args.get("measure", 30_000u64)?;
     let jobs = parse_jobs(args)?;
     let invariants = parse_invariants(args)?;
-    println!(
-        "{:>6} {:>10} {:>10} {:>8}   ({}x{} mesh, {} VCs, MD VC of r0 east)",
-        "rate", "rr MD", "sw MD", "gap", cores, cores, vcs
-    );
+    let json = args.has("json");
     let rates = [0.05, 0.1, 0.15, 0.2, 0.25, 0.3];
     let batch: Vec<ExperimentJob> = rates
         .iter()
@@ -426,16 +441,92 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
                 })
         })
         .collect();
-    let results = run_batch(&batch, jobs);
-    for (&rate, pair) in rates.iter().zip(results.chunks_exact(2)) {
-        let (a, b) = (
-            pair[0].east_input(NodeId(0)).md_duty(),
-            pair[1].east_input(NodeId(0)).md_duty(),
+
+    // `(rr_md_duty, sw_md_duty, invariant_violations)` per rate, either
+    // computed fresh or served from a content-addressed `--store`.
+    let sampled = PortId::router_input(NodeId(0), Direction::East).to_string();
+    let rows: Vec<(f64, f64, u64)> = match args.flags.get("store") {
+        Some(dir) => {
+            let store =
+                noc_campaign::FsResultStore::open(dir).map_err(|e| e.to_string())?;
+            let outcome = sensorwise::run_batch_cached(&batch, jobs, &store)
+                .map_err(|e| e.to_string())?;
+            eprintln!(
+                "result store {dir}: {} hits, {} misses",
+                outcome.hits, outcome.misses
+            );
+            let md_duty = |r: &sensorwise::WireResult| -> Result<f64, String> {
+                let row = r
+                    .ports
+                    .iter()
+                    .find(|p| p.port == sampled)
+                    .ok_or_else(|| format!("cached result lacks port {sampled}"))?;
+                row.duty_percent
+                    .get(row.md_vc)
+                    .copied()
+                    .ok_or_else(|| format!("cached result has no duty for VC {}", row.md_vc))
+            };
+            outcome
+                .results
+                .chunks_exact(2)
+                .map(|pair| {
+                    Ok((
+                        md_duty(&pair[0])?,
+                        md_duty(&pair[1])?,
+                        pair[0].invariant_violations + pair[1].invariant_violations,
+                    ))
+                })
+                .collect::<Result<_, String>>()?
+        }
+        None => {
+            let results = run_batch(&batch, jobs);
+            for r in &results {
+                report_invariants(r)?;
+            }
+            results
+                .chunks_exact(2)
+                .map(|pair| {
+                    (
+                        pair[0].east_input(NodeId(0)).md_duty(),
+                        pair[1].east_input(NodeId(0)).md_duty(),
+                        0,
+                    )
+                })
+                .collect()
+        }
+    };
+
+    if json {
+        // Same canonical float formatting as the wire codec: Rust's
+        // shortest round-trip `Display`.
+        let mut out = format!(
+            "{{\"cores\":{cores},\"vcs\":{vcs},\"warmup\":{warmup},\"measure\":{measure},\
+             \"sampled_port\":{},\"points\":[",
+            sensorwise::codec::json_string(&sampled)
         );
-        println!("{rate:>6.2} {a:>9.1}% {b:>9.1}% {:>7.1}%", a - b);
+        for (i, (&rate, &(rr, sw, _))) in rates.iter().zip(&rows).enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rate\":{rate},\"rr_md_duty\":{rr},\"sw_md_duty\":{sw},\"gap\":{}}}",
+                rr - sw
+            ));
+        }
+        out.push_str("]}");
+        println!("{out}");
+    } else {
+        println!(
+            "{:>6} {:>10} {:>10} {:>8}   ({}x{} mesh, {} VCs, MD VC of r0 east)",
+            "rate", "rr MD", "sw MD", "gap", cores, cores, vcs
+        );
+        for (&rate, &(a, b, _)) in rates.iter().zip(&rows) {
+            println!("{rate:>6.2} {a:>9.1}% {b:>9.1}% {:>7.1}%", a - b);
+        }
     }
-    for r in &results {
-        report_invariants(r)?;
+    let violations: u64 = rows.iter().map(|r| r.2).sum();
+    if violations > 0 {
+        return Err(format!("{violations} invariant violation(s) detected"));
     }
     Ok(())
 }
@@ -498,9 +589,12 @@ fn percentile(sorted: &[u64], q: f64) -> u64 {
 
 fn cmd_stats(args: &Args) -> Result<(), String> {
     let path = args.required("trace")?.to_string();
+    let json = args.has("json");
     let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let events = read_jsonl(&text).map_err(|e| format!("bad trace {path}: {e}"))?;
-    println!("{} events from {path}", events.len());
+    if !json {
+        println!("{} events from {path}", events.len());
+    }
 
     let mut counts = vec![0u64; EventKind::TAGS.len()];
     let mut churn: BTreeMap<String, u64> = BTreeMap::new();
@@ -519,6 +613,45 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
         }
     }
 
+    latencies.sort_unstable();
+    if json {
+        // Machine-readable summary, keyed and quoted via the shared
+        // wire-codec string escaper; the digest matches `run --json`.
+        let mut out = format!("{{\"events\":{},\"counts\":{{", events.len());
+        let mut first = true;
+        for (tag, n) in EventKind::TAGS.iter().zip(&counts) {
+            if *n > 0 {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!("{}:{n}", sensorwise::codec::json_string(tag)));
+            }
+        }
+        out.push_str("},\"gating_churn\":{");
+        for (i, (port, n)) in churn.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{n}", sensorwise::codec::json_string(port)));
+        }
+        out.push_str("},");
+        if latencies.is_empty() {
+            out.push_str("\"latency\":null,");
+        } else {
+            out.push_str(&format!(
+                "\"latency\":{{\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{},\"packets\":{}}},",
+                percentile(&latencies, 0.5),
+                percentile(&latencies, 0.95),
+                percentile(&latencies, 0.99),
+                latencies[latencies.len() - 1],
+                latencies.len()
+            ));
+        }
+        out.push_str(&format!("\"digest\":\"{:016x}\"}}", EventDigest::of(&events)));
+        println!("{out}");
+        return Ok(());
+    }
     println!("event counts:");
     for (tag, n) in EventKind::TAGS.iter().zip(&counts) {
         if *n > 0 {
@@ -532,7 +665,6 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
         }
     }
     if !latencies.is_empty() {
-        latencies.sort_unstable();
         println!(
             "latency: p50 {} p95 {} p99 {} max {} cycles ({} packets)",
             percentile(&latencies, 0.5),
@@ -551,27 +683,196 @@ fn cmd_area() -> Result<(), String> {
     Ok(())
 }
 
+/// Builds a lifetime-campaign spec from `campaign run` flags.
+fn campaign_spec_from_args(args: &Args) -> Result<noc_campaign::CampaignSpec, String> {
+    let scenario = SyntheticScenario {
+        cores: args.get("cores", 4usize)?,
+        vcs: args.get("vcs", 2usize)?,
+        injection_rate: args.get("rate", 0.15f64)?,
+    };
+    let policy = parse_policy(args.get("policy", "sensor-wise".to_string())?.as_str())?;
+    let warmup = args.get("warmup", 500u64)?;
+    let measure = args.get("measure", 5_000u64)?;
+    let mut job = scenario.job(policy, warmup, measure);
+    job.traffic = job.traffic.with_seed(args.get("seed", 1u64)?);
+    if args.flags.contains_key("pv-seed") {
+        job.cfg = job.cfg.with_pv_seed(args.get("pv-seed", 0u64)?);
+    }
+    Ok(noc_campaign::CampaignSpec {
+        base: job,
+        epochs: args.get("epochs", 4u32)?,
+        age_acceleration: args.get("age-acceleration", 1.0e9f64)?,
+        drain_limit: args.get("drain-limit", 10_000u64)?,
+    })
+}
+
+/// Opens the optional content-addressed result store named by `--store`.
+fn open_optional_store(args: &Args) -> Result<Option<noc_campaign::FsResultStore>, String> {
+    match args.flags.get("store") {
+        None => Ok(None),
+        Some(dir) => noc_campaign::FsResultStore::open(dir)
+            .map(Some)
+            .map_err(|e| e.to_string()),
+    }
+}
+
+/// Runs every remaining epoch, checkpointing after each one, and prints
+/// the per-epoch aging trajectory plus the final chained digest — the
+/// witness the kill-and-resume smoke test diffs.
+fn run_epochs(
+    campaign: &mut noc_campaign::Campaign,
+    store: Option<&noc_campaign::FsResultStore>,
+    checkpoint: &std::path::Path,
+) -> Result<(), String> {
+    println!(
+        "{:>5} {:>10} {:>7} {:>16} {:>12} {:>9}",
+        "epoch", "end_cycle", "drain", "digest", "max dVth mV", "delay %"
+    );
+    while !campaign.is_finished() {
+        let report = campaign
+            .run_next_epoch(store.map(|s| s as &dyn sensorwise::ResultCache))
+            .map_err(|e| e.to_string())?;
+        campaign.save(checkpoint).map_err(|e| e.to_string())?;
+        println!(
+            "{:>5} {:>10} {:>7} {:>16x} {:>12.4} {:>9.4}",
+            report.index,
+            report.end_cycle,
+            report.drain_cycles,
+            report.digest,
+            report.max_delta_vth_mv,
+            report.worst_delay_degradation_percent
+        );
+    }
+    println!("chained digest: {:016x}", campaign.chained_digest());
+    Ok(())
+}
+
+fn cmd_campaign(action: &str, args: &Args) -> Result<(), String> {
+    let checkpoint = std::path::PathBuf::from(args.required("checkpoint")?);
+    match action {
+        "run" => {
+            let spec = campaign_spec_from_args(args)?;
+            let store = open_optional_store(args)?;
+            let mut campaign =
+                noc_campaign::Campaign::new(spec).map_err(|e| e.to_string())?;
+            eprintln!(
+                "campaign: {} epochs, age acceleration {:e}, checkpoint {}",
+                campaign.spec().epochs,
+                campaign.spec().age_acceleration,
+                checkpoint.display()
+            );
+            run_epochs(&mut campaign, store.as_ref(), &checkpoint)
+        }
+        "resume" => {
+            let mut campaign =
+                noc_campaign::Campaign::load(&checkpoint).map_err(|e| e.to_string())?;
+            if campaign.is_finished() {
+                println!(
+                    "campaign already finished ({} epochs)",
+                    campaign.completed()
+                );
+                println!("chained digest: {:016x}", campaign.chained_digest());
+                return Ok(());
+            }
+            eprintln!(
+                "resuming at epoch {}/{}",
+                campaign.completed(),
+                campaign.spec().epochs
+            );
+            let store = open_optional_store(args)?;
+            run_epochs(&mut campaign, store.as_ref(), &checkpoint)
+        }
+        "status" => {
+            let campaign =
+                noc_campaign::Campaign::load(&checkpoint).map_err(|e| e.to_string())?;
+            println!(
+                "{}: {}/{} epochs completed",
+                checkpoint.display(),
+                campaign.completed(),
+                campaign.spec().epochs
+            );
+            if let Some(cycle) = campaign.current_cycle() {
+                println!("simulated cycles: {cycle}");
+            }
+            for (i, (end, digest)) in campaign.epoch_ends().iter().enumerate() {
+                println!("  epoch {i}: end_cycle {end} digest {digest:016x}");
+            }
+            if let Some(ledger) = campaign.ledger() {
+                println!("max dVth: {:.4} mV", ledger.max_delta_vth_mv());
+            }
+            println!("chained digest: {:016x}", campaign.chained_digest());
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown campaign action `{other}` (run | resume | status)"
+        )),
+    }
+}
+
+fn cmd_cache(action: &str, args: &Args) -> Result<(), String> {
+    let store =
+        noc_campaign::FsResultStore::open(args.required("dir")?).map_err(|e| e.to_string())?;
+    match action {
+        "stats" => {
+            let stats = store.stats().map_err(|e| e.to_string())?;
+            if args.has("json") {
+                println!("{{\"entries\":{},\"bytes\":{}}}", stats.entries, stats.bytes);
+            } else {
+                println!(
+                    "{}: {} entries, {} bytes",
+                    store.dir().display(),
+                    stats.entries,
+                    stats.bytes
+                );
+            }
+            Ok(())
+        }
+        "gc" => {
+            let keep: usize = args
+                .required("keep")?
+                .parse()
+                .map_err(|e| format!("bad --keep: {e}"))?;
+            let report = store.gc(keep).map_err(|e| e.to_string())?;
+            println!("removed {} entries, kept {}", report.removed, report.kept);
+            Ok(())
+        }
+        other => Err(format!("unknown cache action `{other}` (stats | gc)")),
+    }
+}
+
 const HELP: &str = "nbti-noc — sensor-wise NBTI mitigation for NoC buffers (DATE 2013 reproduction)
 
 subcommands:
   run     one scenario under one policy    [--cores --vcs --rate --policy --warmup --measure --invariants --csv]
                                            [--trace-out FILE --metrics-out FILE --sample-period N]
   sweep   gap vs injection rate            [--cores --vcs --warmup --measure --invariants --jobs]
+                                           [--store DIR (memoize probes) --json]
   record  record a synthetic trace         --out FILE [--cores --rate --cycles --seed]
   replay  replay a trace under a policy    --trace FILE [--cores --vcs --policy --invariants --csv]
                                            [--trace-out FILE --metrics-out FILE --sample-period N]
-  stats   summarize a telemetry trace      --trace FILE (event counts, churn, latency, digest)
+  stats   summarize a telemetry trace      --trace FILE [--json] (event counts, churn, latency, digest)
   area    print the §III-D area overhead report
   serve   HTTP job API for experiments     [--addr 127.0.0.1:7878 --workers N --queue-depth N --timeout-ms N]
+                                           [--cache-dir DIR (serve repeat specs from the result store)]
   submit  load-generating client           [--addr --count --concurrency --cores --vcs --rate --policy
                                             --warmup --measure --seed --shutdown]
+  campaign run     multi-epoch lifetime campaign   --checkpoint FILE [--epochs 4 --age-acceleration 1e9
+                   with aging feedback              --drain-limit N --cores --vcs --rate --policy
+                                                    --warmup --measure --seed --pv-seed --store DIR]
+  campaign resume  continue from a checkpoint      --checkpoint FILE [--store DIR]
+  campaign status  inspect a checkpoint            --checkpoint FILE
+  cache stats      result-store statistics         --dir DIR [--json]
+  cache gc         evict oldest store entries      --dir DIR --keep N
   help    this text
 
 policies: baseline | rr | sw-nt | sw | sw-kN (e.g. sw-k2)
 invariant levels: off (default) | cheap | full — runtime protocol checks; violations exit nonzero
 telemetry: --trace-out writes a JSONL event trace, --metrics-out a per-port CSV series
 serving: `run --json` prints the same result JSON the service returns (digest included);
+         `sweep --json` and `stats --json` emit machine-readable summaries in the same codec;
          `submit` cross-checks every served digest against a local run of the same spec
+campaigns: per-buffer NBTI drift carries across epochs and feeds the next epoch's sensors;
+           checkpoints (NBTICAMP v1) make resume bit-identical to an uninterrupted run
 paper tables: see `cargo run -p nbti-noc-bench --bin table2|table3|table4|...`";
 
 fn main() -> ExitCode {
@@ -581,6 +882,25 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     };
     let run = || -> Result<(), String> {
+        // `campaign` and `cache` take an action word before the flags.
+        if cmd == "campaign" || cmd == "cache" {
+            let Some((action, flags)) = rest.split_first() else {
+                return Err(format!(
+                    "{cmd} needs an action: {}",
+                    if cmd == "campaign" {
+                        "run | resume | status"
+                    } else {
+                        "stats | gc"
+                    }
+                ));
+            };
+            let args = Args::parse(flags)?;
+            return if cmd == "campaign" {
+                cmd_campaign(action, &args)
+            } else {
+                cmd_cache(action, &args)
+            };
+        }
         let args = Args::parse(rest)?;
         match cmd.as_str() {
             "run" => cmd_run(&args),

@@ -70,15 +70,34 @@ fn served_digests_match_in_process_runs_for_any_worker_count() {
 
 #[test]
 fn overflow_gets_429_with_retry_after_and_no_accepted_job_is_lost() {
-    // One worker, queue depth 1: six concurrent slow submissions must
-    // overflow. 429 is backpressure, not failure — retries drain through.
+    // One worker, queue depth 1: the first submission lands on the
+    // worker, the second parks in the queue slot, and four concurrent
+    // submissions after that must overflow. 429 is backpressure, not
+    // failure — retries drain through.
     let (server, client) = start(1, 1, 0);
     let jobs_and_specs: Vec<(ExperimentJob, String)> =
         (0..6).map(|i| spec(15_000, 200 + i)).collect();
 
-    let outcomes = parallel_map(&jobs_and_specs, 6, |_, (_, json)| {
+    // Blasting all six at once races the worker's queue pop: on a slow
+    // or loaded machine every submission after the first can see a full
+    // queue. Pin the setup instead — wait until the worker has claimed
+    // job one (the pop empties the queue) before filling the slot.
+    let mut outcomes: Vec<(Submitted, u64)> = Vec::new();
+    outcomes.push(client.submit(&jobs_and_specs[0].1).expect("transport stays up"));
+    let first_id = match outcomes[0].0 {
+        Submitted::Accepted { id } => id,
+        ref other => panic!("an idle server must accept the first job, got {other:?}"),
+    };
+    for _ in 0..3_000 {
+        if client.status(first_id).expect("status stays served").status == "running" {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    outcomes.push(client.submit(&jobs_and_specs[1].1).expect("transport stays up"));
+    outcomes.extend(parallel_map(&jobs_and_specs[2..], 4, |_, (_, json)| {
         client.submit(json).expect("transport stays up")
-    });
+    }));
     let mut accepted: Vec<u64> = Vec::new();
     let mut busy = 0usize;
     for (outcome, _) in &outcomes {
@@ -305,4 +324,81 @@ fn invariant_counts_travel_over_the_wire() {
 
     server.request_shutdown(false);
     server.wait();
+}
+
+/// A server backed by a content-addressed result store serves repeat
+/// submissions from cache — byte-identical, without a worker, visible in
+/// `/stats` — while changed specs and corrupted entries are recomputed.
+#[test]
+fn cache_hits_serve_byte_identical_results_and_corruption_recomputes() {
+    let dir = std::env::temp_dir().join(format!("nbti-svc-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = noc_campaign::FsResultStore::open(&dir).expect("store opens");
+    let server = Server::start_with_cache(
+        &ServiceConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            queue_depth: 4,
+            job_timeout_ms: 0,
+        },
+        Some(std::sync::Arc::new(store.clone())),
+    )
+    .expect("ephemeral bind succeeds");
+    let client = ServiceClient::new(server.local_addr().to_string());
+    let (_, json) = spec(2_000, 900);
+
+    // First submission is a miss: computed by the worker, written back.
+    let (id, _, _) = client.submit_with_retry(&json, 10).expect("submits");
+    let first = client.wait_result(id, 10, 2_000).expect("completes");
+    let stats = client.stats().expect("stats parse");
+    assert_eq!(stats.get("cache_hits").and_then(|v| v.as_u64()), Some(0));
+
+    // The identical spec again: served from the store, byte for byte.
+    let (id2, _, _) = client.submit_with_retry(&json, 10).expect("submits");
+    let second = client.wait_result(id2, 10, 2_000).expect("hit resolves");
+    assert_eq!(
+        second.to_json(),
+        first.to_json(),
+        "cached serving must be byte-identical"
+    );
+    let stats = client.stats().expect("stats parse");
+    assert_eq!(stats.get("cache_hits").and_then(|v| v.as_u64()), Some(1));
+
+    // A changed traffic seed is a different canonical spec: miss.
+    let (_, other) = spec(2_000, 901);
+    let (id3, _, _) = client.submit_with_retry(&other, 10).expect("submits");
+    let third = client.wait_result(id3, 10, 2_000).expect("completes");
+    assert_ne!(
+        third.trace_digest, first.trace_digest,
+        "seed change must change the run"
+    );
+    let stats = client.stats().expect("stats parse");
+    assert_eq!(stats.get("cache_hits").and_then(|v| v.as_u64()), Some(1));
+
+    // Corrupt every stored entry on disk: the next identical submission
+    // must detect it, recompute the right answer and never serve garbage.
+    for dirent in std::fs::read_dir(&dir).expect("store dir listable").flatten() {
+        if dirent.path().extension().is_some_and(|e| e == "json") {
+            std::fs::write(dirent.path(), "corrupted beyond parsing {{{").unwrap();
+        }
+    }
+    let (id4, _, _) = client.submit_with_retry(&json, 10).expect("submits");
+    let fourth = client.wait_result(id4, 10, 2_000).expect("recomputes");
+    assert_eq!(
+        fourth.trace_digest, first.trace_digest,
+        "recomputed result must match the original run"
+    );
+    let stats = client.stats().expect("stats parse");
+    assert_eq!(
+        stats.get("cache_hits").and_then(|v| v.as_u64()),
+        Some(1),
+        "corrupted entries must not count as hits"
+    );
+
+    server.request_shutdown(false);
+    let report = server.wait();
+    assert_eq!(report.accepted, 4);
+    assert_eq!(report.completed, 4, "cache hits are terminal completions");
+    assert!(report.accounts_for_all(), "{report:?}");
+    let _ = std::fs::remove_dir_all(&dir);
 }

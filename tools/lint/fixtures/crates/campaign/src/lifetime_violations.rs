@@ -1,0 +1,10 @@
+//! Lint fixture: the campaign crate carries simulation state across
+//! epochs, so it sits in every determinism scope — unordered maps,
+//! wall-clock reads and panic paths must all be flagged here.
+
+fn forbidden_in_campaign_code() {
+    let mut ages = std::collections::HashMap::new();
+    ages.insert(0u32, 0.0f64);
+    let _started = std::time::Instant::now();
+    let _vth = ages.get(&0).unwrap();
+}

@@ -9,11 +9,11 @@
 //!
 //! | rule | forbids | scope |
 //! |---|---|---|
-//! | `no-unordered-map` | `HashMap`/`HashSet` | simulation/sweep/service crates + `src/` |
+//! | `no-unordered-map` | `HashMap`/`HashSet` | simulation/sweep/service/campaign crates + `src/` |
 //! | `no-wall-clock` | `SystemTime`, `Instant::now` | everywhere scanned |
 //! | `no-os-random` | `thread_rng`, `OsRng`, `from_entropy` | everywhere scanned |
 //! | `no-thread-spawn` | `thread::spawn`, `scope.spawn` | everywhere except `core::parallel` and `crates/service/` |
-//! | `no-unwrap` | `.unwrap()`, `.expect(` | `noc-sim`/`nbti` hot paths + `crates/service/` |
+//! | `no-unwrap` | `.unwrap()`, `.expect(` | `noc-sim`/`nbti` hot paths + `crates/service/` + `crates/campaign/` |
 //!
 //! `tools/` and `compat/` are never scanned (vendored mimics and tooling
 //! may use whatever they like), and `#[cfg(test)]` modules inside scanned
@@ -54,6 +54,7 @@ fn in_sim_or_sweep_code(path: &str) -> bool {
         "crates/telemetry/",
         "crates/area/",
         "crates/service/",
+        "crates/campaign/",
         "src/",
     ]
     .iter()
@@ -76,6 +77,7 @@ fn in_hot_paths(path: &str) -> bool {
     path.starts_with("crates/noc-sim/src/")
         || path.starts_with("crates/nbti/src/")
         || path.starts_with("crates/service/src/")
+        || path.starts_with("crates/campaign/src/")
 }
 
 const RULES: &[Rule] = &[
@@ -525,8 +527,9 @@ fn g() { maybe.unwrap(); }
     /// fires across `tools/lint/fixtures/` with a known multiplicity (the
     /// telemetry fixture adds a second `no-unordered-map` and
     /// `no-wall-clock` hit, the service fixture a third `no-unordered-map`
-    /// — its `thread::spawn` is allowlisted; every other rule fires
-    /// exactly once).
+    /// — its `thread::spawn` is allowlisted — and the campaign fixture one
+    /// more `no-unordered-map`, `no-wall-clock` and `no-unwrap`; every
+    /// other rule fires exactly once).
     #[test]
     fn fixtures_trigger_every_rule_with_known_multiplicity() {
         let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
@@ -534,7 +537,14 @@ fn g() { maybe.unwrap(); }
         let mut rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
         rules.sort_unstable();
         let mut expected: Vec<&str> = RULES.iter().map(|r| r.id).collect();
-        expected.extend(["no-unordered-map", "no-unordered-map", "no-wall-clock"]);
+        expected.extend([
+            "no-unordered-map",
+            "no-unordered-map",
+            "no-wall-clock",
+            "no-unordered-map",
+            "no-wall-clock",
+            "no-unwrap",
+        ]);
         expected.sort_unstable();
         assert_eq!(rules, expected, "findings: {findings:#?}");
     }
