@@ -48,7 +48,7 @@ fn main() {
     let batch: Vec<ExperimentJob> = depths
         .iter()
         .flat_map(|&depth| {
-            [PolicyKind::RrNoSensor, PolicyKind::SensorWise]
+            PolicyKind::REFERENCE_PAIR
                 .into_iter()
                 .map(move |policy| (depth, policy))
         })

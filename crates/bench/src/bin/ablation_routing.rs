@@ -53,7 +53,7 @@ fn main() {
     let batch: Vec<ExperimentJob> = routings
         .iter()
         .flat_map(|&(_, routing)| {
-            [PolicyKind::RrNoSensor, PolicyKind::SensorWise]
+            PolicyKind::REFERENCE_PAIR
                 .into_iter()
                 .map(move |policy| job(routing, policy, &scaled))
         })

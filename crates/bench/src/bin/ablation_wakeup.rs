@@ -52,7 +52,7 @@ fn main() {
     let batch: Vec<ExperimentJob> = wakeups
         .iter()
         .flat_map(|&wakeup| {
-            [PolicyKind::RrNoSensor, PolicyKind::SensorWise]
+            PolicyKind::REFERENCE_PAIR
                 .into_iter()
                 .map(move |policy| (wakeup, policy))
         })

@@ -1,11 +1,11 @@
-//! Model-checks the sensor-wise protocol: every gating policy × small
-//! meshes × traffic patterns × injection rates, each run with
-//! `InvariantLevel::Full` so every cycle asserts gating safety, VC-state
-//! consistency, flit/credit conservation, the idle-on budget, and duty
-//! closure.
+//! Model-checks the sensor-wise protocol: exhaustive breadth-first state
+//! space exploration of the reference 2×2/2-VC mesh for every gating
+//! policy, with the full invariant oracle (gating safety, VC-state
+//! consistency, flit/credit conservation, the idle-on budget, duty
+//! closure) consulted at every reachable state.
 //!
-//! Exits nonzero if any case reports a violation — `scripts/ci.sh` runs
-//! this as a gate.
+//! Exits nonzero if any policy yields a counterexample or fails to
+//! exhaust its reachable space — `scripts/ci.sh` runs this as a gate.
 
 use nbti_noc_bench::RunOptions;
 use sensorwise::modelcheck::{default_cases, model_check};
@@ -14,26 +14,31 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let opts = RunOptions::from_env();
     let cases = default_cases();
-    // The default 20k/200k table budget is overkill for 2×2 and 3×3
-    // meshes; cap the per-case budget so the full matrix stays CI-sized
-    // unless the caller explicitly asks for longer runs.
-    let warmup = opts.warmup.min(2_000);
-    let measure = opts.measure.min(10_000);
     eprintln!(
-        "[model_check] {} cases, warmup={warmup} measure={measure} jobs={}",
+        "[model_check] {} policies, depth={} jobs={}",
         cases.len(),
+        cases.first().map_or(0, |c| c.depth),
         opts.jobs
     );
-    let report = model_check(&cases, warmup, measure, opts.jobs);
+    let report = model_check(&cases, opts.jobs);
     print!("{}", report.render());
-    if report.ok() {
-        println!("model check passed: {} cases, 0 violations", cases.len());
+    let unexhausted = report
+        .outcomes
+        .iter()
+        .filter(|o| !o.report.exhausted)
+        .count();
+    if report.ok() && unexhausted == 0 {
+        println!(
+            "model check passed: {} policies, every reachable state explored, 0 violations",
+            cases.len()
+        );
         ExitCode::SUCCESS
     } else {
         println!(
-            "model check FAILED: {} violation(s) across {} case(s)",
+            "model check FAILED: {} violation(s) across {} case(s), {} case(s) not exhausted",
             report.total_violations(),
-            report.failures().count()
+            report.failures().count(),
+            unexhausted
         );
         ExitCode::FAILURE
     }

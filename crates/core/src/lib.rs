@@ -70,7 +70,10 @@ pub use experiment::{
     ExperimentConfig, ExperimentResult, PortResult, SensorModel, SyntheticScenario,
     LOAD_CALIBRATION,
 };
-pub use modelcheck::{model_check, model_check_default, CheckCase, CheckOutcome, ModelCheckReport};
+pub use modelcheck::{
+    checked_policies, controller_for, explore_config_for, model_check, model_check_default,
+    model_check_with_fault, CheckCase, CheckOutcome, ModelCheckReport,
+};
 pub use monitor::NbtiMonitor;
 pub use parallel::{
     default_jobs, parallel_map, run_batch, validate_jobs, ExperimentJob, TrafficSpec,

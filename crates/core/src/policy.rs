@@ -55,6 +55,11 @@ impl PolicyKind {
         PolicyKind::SensorWise,
     ];
 
+    /// The sensor-less reference against the paper's contribution — the
+    /// pair every gap sweep and ablation study contrasts.
+    pub const REFERENCE_PAIR: [PolicyKind; 2] =
+        [PolicyKind::RrNoSensor, PolicyKind::SensorWise];
+
     /// The three policies compared in Tables II and III.
     pub const TABLE_POLICIES: [PolicyKind; 3] = [
         PolicyKind::RrNoSensor,

@@ -40,6 +40,7 @@
 
 pub mod arbiter;
 pub mod config;
+pub mod explore;
 pub mod flit;
 pub mod invariants;
 pub mod network;

@@ -33,7 +33,7 @@ use noc_telemetry::{EventKind, NullSink, TraceEvent, TraceSink, WorkCounters};
 
 /// Where a cycle currently stands.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Phase {
+pub(crate) enum Phase {
     /// Between cycles: `begin_cycle` is next.
     Idle,
     /// Mid-cycle: views are fresh, gating commands may be applied,
@@ -70,10 +70,10 @@ enum Downstream {
 pub struct Network<T: TraceSink = NullSink> {
     cfg: NocConfig,
     mesh: Mesh2D,
-    routers: Vec<Router>,
-    nics: Vec<Nic>,
+    pub(crate) routers: Vec<Router>,
+    pub(crate) nics: Vec<Nic>,
     cycle: u64,
-    phase: Phase,
+    pub(crate) phase: Phase,
     stats: NetStats,
     next_packet: u64,
     port_ids: Vec<PortId>,
@@ -180,6 +180,14 @@ impl<T: TraceSink> Network<T> {
     /// The current cycle number.
     pub fn cycle(&self) -> u64 {
         self.cycle
+    }
+
+    /// `true` between cycles (the [`Network::begin_cycle`] /
+    /// [`Network::finish_cycle`] decomposition is at its outer boundary).
+    /// The state-space explorer ([`crate::explore`]) only encodes states at
+    /// this boundary, so every explored state is a whole-cycle state.
+    pub fn at_cycle_boundary(&self) -> bool {
+        self.phase == Phase::Idle
     }
 
     /// Accumulated performance statistics.

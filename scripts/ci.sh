@@ -30,10 +30,46 @@ done
 # invariants (gating safety, conservation, idle-on budget, duty closure).
 cargo run -q --release --offline -p nbti-noc-bench --bin model_check > /dev/null
 
+# Protocol verification: the exhaustive explorer must close the 2x2/V=2
+# state space at the default depth for every policy, reporting state
+# counts and zero violations.
+verifydir=$(mktemp -d)
+trap 'rm -rf "${verifydir:-}"' EXIT
+./target/release/nbti-noc verify > "$verifydir/verify.log" 2>&1 || {
+    cat "$verifydir/verify.log" >&2
+    echo "ci: protocol verification failed" >&2
+    exit 1
+}
+for p in baseline rr-no-sensor sensor-wise-no-traffic sensor-wise sensor-wise-k2; do
+    grep -q "^$p: [0-9][0-9]* unique states, .*, exhausted$" "$verifydir/verify.log" || {
+        cat "$verifydir/verify.log" >&2
+        echo "ci: verify did not exhaust the state space for $p" >&2
+        exit 1
+    }
+done
+
+# Counterexample smoke: a planted protocol fault must fail the
+# verification and emit a counterexample trace that the standard
+# telemetry pipeline accepts.
+if ./target/release/nbti-noc verify --policy sw --depth 6 \
+    --inject-fault gate-occupied --counterexample-out "$verifydir/cx.jsonl" \
+    > /dev/null 2>&1; then
+    echo "ci: planted gate-occupied fault went undetected" >&2
+    exit 1
+fi
+test -s "$verifydir/cx.jsonl" || { echo "ci: empty counterexample trace" >&2; exit 1; }
+./target/release/nbti-noc stats --trace "$verifydir/cx.jsonl" \
+    | grep -q "violation" || {
+    echo "ci: counterexample trace lost the violation event" >&2
+    exit 1
+}
+rm -rf "$verifydir"
+verifydir=""
+
 # Telemetry smoke: a traced run must produce a parseable event trace and a
 # non-empty metrics series, and `stats` must re-derive a digest from it.
 teldir=$(mktemp -d)
-trap 'rm -rf "$teldir" "${servedir:-}" "${campdir:-}"; [ -n "${serve_pid:-}" ] && kill "$serve_pid" 2>/dev/null || true; [ -n "${camp_pid:-}" ] && kill "$camp_pid" 2>/dev/null || true' EXIT
+trap 'rm -rf "$teldir" "${verifydir:-}" "${servedir:-}" "${campdir:-}"; [ -n "${serve_pid:-}" ] && kill "$serve_pid" 2>/dev/null || true; [ -n "${camp_pid:-}" ] && kill "$camp_pid" 2>/dev/null || true' EXIT
 ./target/release/nbti-noc run --cores 4 --vcs 2 --rate 0.1 --policy sw \
     --warmup 200 --measure 2000 \
     --trace-out "$teldir/events.jsonl" --metrics-out "$teldir/metrics.csv" \
@@ -118,5 +154,7 @@ cargo run -q --release --offline -p nbti-noc-bench --bin service_throughput -- \
     --count 8 --measure 1000 > /dev/null
 cargo run -q --release --offline -p nbti-noc-bench --bin campaign_epochs -- \
     --epochs 4 --measure 1500 --warmup 300 > /dev/null
+cargo run -q --release --offline -p nbti-noc-bench --bin verify_throughput -- \
+    --symmetry-only > /dev/null
 
 echo "ci: all green"

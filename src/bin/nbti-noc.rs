@@ -8,6 +8,8 @@
 //! nbti-noc replay --trace FILE [--cores N] [--vcs V] [--policy P]
 //!                 [--trace-out FILE] [--metrics-out FILE] [--sample-period N]
 //! nbti-noc stats  --trace FILE
+//! nbti-noc verify [--policy P] [--depth N] [--symmetry] [--counterexample-out FILE]
+//!                 [--inject-fault gate-occupied|double-credit|drop-flit]
 //! nbti-noc area
 //! nbti-noc serve  [--addr A] [--workers N] [--queue-depth N] [--timeout-ms N] [--cache-dir DIR]
 //! nbti-noc submit [--addr A] [--count N] [--concurrency N] [--cores N] [--vcs V]
@@ -432,7 +434,7 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
                 vcs,
                 injection_rate: rate,
             };
-            [PolicyKind::RrNoSensor, PolicyKind::SensorWise]
+            PolicyKind::REFERENCE_PAIR
                 .into_iter()
                 .map(move |policy| {
                     let mut job = scenario.job(policy, warmup, measure);
@@ -678,6 +680,53 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Exhaustively model-checks the cooperative gating protocol: breadth-
+/// first enumeration of every reachable whole-cycle state of the
+/// reference 2×2/2-VC mesh under every interleaving of injections,
+/// controller firings and control-epoch gaps, with the full invariant
+/// oracle consulted at each state. A found violation exits nonzero and,
+/// with `--counterexample-out`, lowers the shortest violating path to a
+/// JSONL trace consumable by `stats --trace`.
+fn cmd_verify(args: &Args) -> Result<(), String> {
+    use noc_modelcheck::{explore, FaultKind, StandardOracle};
+
+    let depth = args.get("depth", sensorwise::modelcheck::DEFAULT_DEPTH)?;
+    let symmetry = args.has("symmetry");
+    let fault = match args.flags.get("inject-fault") {
+        Some(name) => Some(FaultKind::parse(name)?),
+        None => None,
+    };
+    let policies = match args.flags.get("policy") {
+        Some(name) => vec![parse_policy(name)?],
+        None => sensorwise::checked_policies(),
+    };
+    let cx_out = args.flags.get("counterexample-out");
+
+    let mut failures = 0usize;
+    for policy in policies {
+        let mut cfg = sensorwise::explore_config_for(policy, depth, symmetry);
+        cfg.fault = fault;
+        let mut ctrl = sensorwise::controller_for(policy);
+        let report = explore(&cfg, &mut ctrl, &mut StandardOracle);
+        println!("{}: {}", policy.label(), report.summary());
+        if let Some(cx) = &report.counterexample {
+            failures += 1;
+            eprintln!("counterexample for {}: {}", policy.label(), cx.describe());
+            if let Some(path) = cx_out {
+                let jsonl = cx.to_jsonl(&cfg, &mut ctrl);
+                std::fs::write(path, jsonl)
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                eprintln!("counterexample trace written to {path}");
+            }
+        }
+    }
+    if failures > 0 {
+        Err(format!("{failures} exploration(s) violated the protocol invariants"))
+    } else {
+        Ok(())
+    }
+}
+
 fn cmd_area() -> Result<(), String> {
     println!("{}", analyze_area(&AreaParams::paper_45nm()));
     Ok(())
@@ -851,6 +900,9 @@ subcommands:
   replay  replay a trace under a policy    --trace FILE [--cores --vcs --policy --invariants --csv]
                                            [--trace-out FILE --metrics-out FILE --sample-period N]
   stats   summarize a telemetry trace      --trace FILE [--json] (event counts, churn, latency, digest)
+  verify  exhaustively model-check the     [--policy P (default: every policy) --depth N --symmetry]
+          gating protocol on a 2x2 mesh    [--counterexample-out FILE
+                                            --inject-fault gate-occupied|double-credit|drop-flit]
   area    print the §III-D area overhead report
   serve   HTTP job API for experiments     [--addr 127.0.0.1:7878 --workers N --queue-depth N --timeout-ms N]
                                            [--cache-dir DIR (serve repeat specs from the result store)]
@@ -908,6 +960,7 @@ fn main() -> ExitCode {
             "record" => cmd_record(&args),
             "replay" => cmd_replay(&args),
             "stats" => cmd_stats(&args),
+            "verify" => cmd_verify(&args),
             "area" => cmd_area(),
             "serve" => cmd_serve(&args),
             "submit" => cmd_submit(&args),

@@ -18,7 +18,7 @@ fn run(args: &[&str]) -> (String, String, bool) {
 fn help_lists_subcommands() {
     let (stdout, _, ok) = run(&["help"]);
     assert!(ok);
-    for cmd in ["run", "sweep", "record", "replay", "area"] {
+    for cmd in ["run", "sweep", "record", "replay", "verify", "area"] {
         assert!(stdout.contains(cmd), "help missing `{cmd}`:\n{stdout}");
     }
 }
@@ -218,6 +218,65 @@ fn stats_rejects_a_missing_trace() {
     let (_, stderr, ok) = run(&["stats", "--trace", "/nonexistent/trace.jsonl"]);
     assert!(!ok);
     assert!(stderr.contains("cannot read"), "{stderr}");
+}
+
+#[test]
+fn verify_explores_and_reports_state_counts_for_every_policy() {
+    // A shallow bound keeps the debug-build test fast; the full closure
+    // depth is gated in scripts/ci.sh with the release binary.
+    let (stdout, _, ok) = run(&["verify", "--depth", "4"]);
+    assert!(ok, "{stdout}");
+    for policy in [
+        "baseline",
+        "rr-no-sensor",
+        "sensor-wise-no-traffic",
+        "sensor-wise",
+        "sensor-wise-k2",
+    ] {
+        let line = stdout
+            .lines()
+            .find(|l| l.starts_with(&format!("{policy}: ")))
+            .unwrap_or_else(|| panic!("missing `{policy}` line:\n{stdout}"));
+        assert!(line.contains("unique states"), "{line}");
+        assert!(line.contains("deduplicated"), "{line}");
+    }
+}
+
+#[test]
+fn verify_rejects_unknown_fault_names() {
+    let (_, stderr, ok) = run(&["verify", "--inject-fault", "gremlins"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown fault"), "{stderr}");
+}
+
+#[test]
+fn verify_with_planted_fault_writes_a_replayable_counterexample() {
+    let dir = std::env::temp_dir().join("nbti-noc-cli-verify");
+    std::fs::create_dir_all(&dir).unwrap();
+    let cx = dir.join("cx.jsonl");
+    let cx_str = cx.to_str().unwrap();
+    let (stdout, stderr, ok) = run(&[
+        "verify",
+        "--policy",
+        "sw",
+        "--depth",
+        "6",
+        "--inject-fault",
+        "gate-occupied",
+        "--counterexample-out",
+        cx_str,
+    ]);
+    assert!(!ok, "a planted fault must fail the verification:\n{stdout}");
+    assert!(stdout.contains("VIOLATION"), "{stdout}");
+    assert!(stderr.contains("counterexample"), "{stderr}");
+
+    // The emitted trace is a standard telemetry stream: `stats` accepts
+    // it and reports the violation among the event counts.
+    let (stats, _, ok) = run(&["stats", "--trace", cx_str]);
+    assert!(ok, "{stats}");
+    assert!(stats.contains("violation"), "{stats}");
+    assert!(stats.contains("digest: "), "{stats}");
+    std::fs::remove_file(cx).ok();
 }
 
 #[test]

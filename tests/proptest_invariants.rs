@@ -5,8 +5,11 @@
 //! properties drive randomized traffic and randomized gating decisions
 //! through it and check the externally observable invariants.
 
+use noc_modelcheck::{replay_path, CycleAction, ExploreConfig};
+use noc_sim::explore::{encode, encode_canonical};
 use noc_sim::prelude::*;
 use proptest::prelude::*;
+use sensorwise::PolicyKind;
 
 /// A compact description of a random workload.
 #[derive(Debug, Clone)]
@@ -163,5 +166,59 @@ proptest! {
             }
         }
         prop_assert!(net.is_quiescent());
+    }
+
+    /// Explorer/simulator agreement: for any short interleaving of
+    /// injections, controller firings and control-epoch gaps, the state
+    /// the explorer's path replay reaches is byte-identical (canonical
+    /// encoding included) to a network hand-driven through the public
+    /// `begin_cycle`/`apply_gate`/`finish_cycle` API. Guards the
+    /// `noc-modelcheck` transition semantics against simulator drift.
+    #[test]
+    fn explorer_replay_matches_hand_driven_network(
+        steps in proptest::collection::vec((0u8..3, 0u8..3), 0..14),
+    ) {
+        let cfg = ExploreConfig::small();
+        // 0 encodes "no action this cycle", 1..=2 the two concrete choices
+        // (the vendored proptest subset has no Option strategy).
+        let decode = |v: u8| v.checked_sub(1);
+        let path: Vec<CycleAction> = steps
+            .iter()
+            .map(|&(inject, controller)| CycleAction {
+                inject: decode(inject),
+                controller: decode(controller),
+            })
+            .collect();
+
+        // The policy under test: sensor-wise, adversarial aux as both the
+        // cycle counter and the most-degraded VC id.
+        let adapter = || sensorwise::controller_for(PolicyKind::SensorWise);
+
+        let mut ctrl = adapter();
+        let explored = replay_path(&cfg, &mut ctrl, &path);
+
+        // The same interleaving, driven by hand through the public API.
+        let mut hand = Network::new(cfg.noc.clone()).expect("valid config");
+        hand.set_invariant_level(InvariantLevel::Full);
+        let mut policy = adapter();
+        for action in &path {
+            if let Some(i) = action.inject {
+                let (src, dst) = cfg.injections[i as usize];
+                hand.inject_packet_with_len(src, dst, cfg.packet_len);
+            }
+            hand.begin_cycle();
+            if let Some(aux) = action.controller {
+                for pid in hand.port_ids().to_vec() {
+                    let view = hand.port_view(pid);
+                    let gate = policy(aux as usize, &view);
+                    hand.apply_gate(pid, gate);
+                }
+            }
+            hand.finish_cycle();
+            prop_assert!(hand.take_violations().is_empty());
+        }
+
+        prop_assert_eq!(encode(&explored), encode(&hand));
+        prop_assert_eq!(encode_canonical(&explored), encode_canonical(&hand));
     }
 }

@@ -1,0 +1,11 @@
+//! Lint fixture: the model checker's seen-set and replay loop are exact
+//! determinism territory — an unordered seen-set reorders the frontier, a
+//! wall-clock read poisons the canonical encoding, and a panic path turns
+//! a counterexample into an abort. All three scopes must flag this crate.
+
+fn forbidden_in_modelcheck_code() {
+    let mut seen = std::collections::HashSet::new();
+    seen.insert(0u64);
+    let _deadline = std::time::Instant::now();
+    let _front = seen.iter().next().unwrap();
+}

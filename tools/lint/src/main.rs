@@ -9,11 +9,11 @@
 //!
 //! | rule | forbids | scope |
 //! |---|---|---|
-//! | `no-unordered-map` | `HashMap`/`HashSet` | simulation/sweep/service/campaign crates + `src/` |
+//! | `no-unordered-map` | `HashMap`/`HashSet` | simulation/sweep/service/campaign/modelcheck crates + `src/` |
 //! | `no-wall-clock` | `SystemTime`, `Instant::now` | everywhere scanned |
 //! | `no-os-random` | `thread_rng`, `OsRng`, `from_entropy` | everywhere scanned |
 //! | `no-thread-spawn` | `thread::spawn`, `scope.spawn` | everywhere except `core::parallel` and `crates/service/` |
-//! | `no-unwrap` | `.unwrap()`, `.expect(` | `noc-sim`/`nbti` hot paths + `crates/service/` + `crates/campaign/` |
+//! | `no-unwrap` | `.unwrap()`, `.expect(` | `noc-sim`/`nbti` hot paths + `crates/service/` + `crates/campaign/` + `crates/modelcheck/` |
 //!
 //! `tools/` and `compat/` are never scanned (vendored mimics and tooling
 //! may use whatever they like), and `#[cfg(test)]` modules inside scanned
@@ -55,6 +55,7 @@ fn in_sim_or_sweep_code(path: &str) -> bool {
         "crates/area/",
         "crates/service/",
         "crates/campaign/",
+        "crates/modelcheck/",
         "src/",
     ]
     .iter()
@@ -78,6 +79,7 @@ fn in_hot_paths(path: &str) -> bool {
         || path.starts_with("crates/nbti/src/")
         || path.starts_with("crates/service/src/")
         || path.starts_with("crates/campaign/src/")
+        || path.starts_with("crates/modelcheck/src/")
 }
 
 const RULES: &[Rule] = &[
@@ -447,6 +449,9 @@ mod tests {
         // The serving layer must not panic either: a worker unwrap would
         // wedge accepted jobs.
         assert_eq!(scan_one("crates/service/src/server.rs", src).len(), 2);
+        // The model checker replays millions of transitions; a panic path
+        // there aborts a verification instead of reporting a violation.
+        assert_eq!(scan_one("crates/modelcheck/src/lib.rs", src).len(), 2);
         // unwrap_or and expect_err are fine.
         let src_ok = "let x = maybe.unwrap_or(0);\nlet y = r.expect_err(\"no\");\n";
         assert!(scan_one("crates/nbti/src/model.rs", src_ok).is_empty());
@@ -527,9 +532,9 @@ fn g() { maybe.unwrap(); }
     /// fires across `tools/lint/fixtures/` with a known multiplicity (the
     /// telemetry fixture adds a second `no-unordered-map` and
     /// `no-wall-clock` hit, the service fixture a third `no-unordered-map`
-    /// — its `thread::spawn` is allowlisted — and the campaign fixture one
-    /// more `no-unordered-map`, `no-wall-clock` and `no-unwrap`; every
-    /// other rule fires exactly once).
+    /// — its `thread::spawn` is allowlisted — and the campaign and
+    /// modelcheck fixtures one more `no-unordered-map`, `no-wall-clock`
+    /// and `no-unwrap` each; every other rule fires exactly once).
     #[test]
     fn fixtures_trigger_every_rule_with_known_multiplicity() {
         let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
@@ -541,6 +546,9 @@ fn g() { maybe.unwrap(); }
             "no-unordered-map",
             "no-unordered-map",
             "no-wall-clock",
+            "no-unordered-map",
+            "no-wall-clock",
+            "no-unwrap",
             "no-unordered-map",
             "no-wall-clock",
             "no-unwrap",
