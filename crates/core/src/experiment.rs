@@ -27,7 +27,7 @@ use noc_sim::network::Network;
 use noc_sim::snapshot::{NetworkSnapshot, SnapshotStateError};
 use noc_sim::stats::NetStats;
 use noc_sim::types::{Direction, NodeId};
-use noc_sim::view::PortId;
+use noc_sim::view::{PortId, PortView, VcStatus};
 use noc_telemetry::{
     EventKind, MetricsSeries, RecordSink, Sample, TelemetryReport, TelemetrySpec, TraceEvent,
     TraceSink, WorkCounters,
@@ -558,6 +558,14 @@ fn run_loop_inner<S: NbtiSensor, T: TraceSink>(
         )
     });
     let mut churn_at_sample: Vec<u64> = vec![0; port_ids.len()];
+    // Scratch reused every cycle so the policy and monitor loops never
+    // allocate once capacities settle.
+    let mut view = PortView {
+        port: PortId::nic_eject(NodeId(0)),
+        vc_status: Vec::new(),
+        new_traffic: false,
+    };
+    let mut statuses: Vec<VcStatus> = Vec::new();
     for step in 0..total {
         if step % CANCEL_CHECK_PERIOD == 0 && cancel.load(Ordering::Relaxed) {
             return Err(EpochError::Cancelled);
@@ -584,7 +592,7 @@ fn run_loop_inner<S: NbtiSensor, T: TraceSink>(
         inject_from(traffic, &mut net);
         net.begin_cycle();
         for (i, &pid) in port_ids.iter().enumerate() {
-            let view = net.port_view(pid);
+            net.fill_port_view(pid, &mut view);
             let action = policies[i].decide(now, &view, md_cache[i]);
             engine_work.policy_evaluations += 1;
             net.apply_gate(pid, action);
@@ -598,7 +606,7 @@ fn run_loop_inner<S: NbtiSensor, T: TraceSink>(
         }
         net.finish_cycle();
         for &pid in &port_ids {
-            let statuses = net.vc_statuses(pid);
+            net.vc_statuses_into(pid, &mut statuses);
             monitor.record_cycle(pid, &statuses);
         }
         if let Some(series) = series.as_mut() {
@@ -676,7 +684,7 @@ fn run_loop_inner<S: NbtiSensor, T: TraceSink>(
             }
             net.begin_cycle();
             for (i, &pid) in port_ids.iter().enumerate() {
-                let view = net.port_view(pid);
+                net.fill_port_view(pid, &mut view);
                 let action = policies[i].decide(now, &view, md_cache[i]);
                 engine_work.policy_evaluations += 1;
                 net.apply_gate(pid, action);

@@ -21,7 +21,7 @@ use crate::flit::PacketId;
 use crate::invariants::{
     InvariantKind, InvariantLevel, InvariantViolation, MAX_RECORDED_VIOLATIONS,
 };
-use crate::nic::{Nic, PendingPacket};
+use crate::nic::{EjectedPacket, Nic, PendingPacket};
 use crate::router::{Router, SaWinner, NUM_PORTS};
 use crate::snapshot::{NetworkSnapshot, PortState, SnapshotStateError};
 use crate::stats::NetStats;
@@ -90,6 +90,12 @@ pub struct Network<T: TraceSink = NullSink> {
     /// Deterministic per-stage work counters (always maintained; plain
     /// integer increments).
     work: WorkCounters,
+    /// Scratch buffers reused by the per-cycle ejection drain so the
+    /// steady state never allocates (they keep their capacity).
+    eject_credits: Vec<Credit>,
+    eject_done: Vec<EjectedPacket>,
+    /// Scratch for per-cycle status scans (same rationale).
+    status_scratch: Vec<VcStatus>,
 }
 
 impl Network {
@@ -153,6 +159,9 @@ impl<T: TraceSink> Network<T> {
             flits_ejected_total: 0,
             trace: sink,
             work: WorkCounters::default(),
+            eject_credits: Vec::new(),
+            eject_done: Vec::new(),
+            status_scratch: Vec::new(),
         })
     }
 
@@ -280,18 +289,34 @@ impl<T: TraceSink> Network<T> {
     ///
     /// Panics if `port` does not exist (e.g. a boundary port).
     pub fn port_view(&self, port: PortId) -> PortView {
+        let mut view = PortView {
+            port,
+            // lint:allow(alloc-in-hot-path) convenience wrapper; per-cycle callers use fill_port_view
+            vc_status: Vec::new(),
+            new_traffic: false,
+        };
+        self.fill_port_view(port, &mut view);
+        view
+    }
+
+    /// Fills `view` in place with the snapshot [`port_view`](Self::port_view)
+    /// would return, reusing `view.vc_status`'s capacity. Per-cycle policy
+    /// loops call this with a caller-owned scratch view so the steady state
+    /// never allocates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` does not exist (e.g. a boundary port).
+    pub fn fill_port_view(&self, port: PortId, view: &mut PortView) {
         let (up, _) = self.resolve(port);
-        let new_traffic = match up {
+        view.port = port;
+        view.new_traffic = match up {
             Upstream::RouterOut { node, port } => {
                 self.routers[node].has_new_traffic(Direction::from_index(port))
             }
             Upstream::NicInject { node } => self.nics[node].has_new_traffic(),
         };
-        PortView {
-            port,
-            vc_status: self.vc_statuses(port),
-            new_traffic,
-        }
+        self.vc_statuses_into(port, &mut view.vc_status);
     }
 
     /// Per-VC statuses of a buffer port, without the (more expensive)
@@ -303,6 +328,21 @@ impl<T: TraceSink> Network<T> {
     ///
     /// Panics if `port` does not exist (e.g. a boundary port).
     pub fn vc_statuses(&self, port: PortId) -> Vec<VcStatus> {
+        // lint:allow(alloc-in-hot-path) convenience wrapper; per-cycle callers use vc_statuses_into
+        let mut out = Vec::new();
+        self.vc_statuses_into(port, &mut out);
+        out
+    }
+
+    /// Fills `out` with the statuses [`vc_statuses`](Self::vc_statuses)
+    /// would return (clearing it first), reusing its capacity so per-cycle
+    /// stress accounting never allocates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` does not exist (e.g. a boundary port).
+    pub fn vc_statuses_into(&self, port: PortId, out: &mut Vec<VcStatus>) {
+        out.clear();
         let (up, down) = self.resolve(port);
         let out_vcs = match up {
             Upstream::RouterOut { node, port } => &self.routers[node].outputs[port].vcs,
@@ -312,19 +352,17 @@ impl<T: TraceSink> Network<T> {
             Downstream::RouterIn { node, port } => self.routers[node].inputs[port].vcs[v].powered,
             Downstream::NicEject { node } => self.nics[node].eject.vcs[v].powered,
         };
-        out_vcs
-            .iter()
-            .enumerate()
-            .map(|(v, ov)| {
-                if ov.state == OutVcState::Active {
-                    VcStatus::Busy
-                } else if powered(v) {
-                    VcStatus::IdleOn
-                } else {
-                    VcStatus::Off
-                }
-            })
-            .collect()
+        for (v, ov) in out_vcs.iter().enumerate() {
+            let status = if ov.state == OutVcState::Active {
+                VcStatus::Busy
+            } else if powered(v) {
+                VcStatus::IdleOn
+            } else {
+                VcStatus::Off
+            };
+            // lint:allow(alloc-in-hot-path) amortized: scratch keeps its capacity
+            out.push(status);
+        }
     }
 
     /// Applies a gating decision to one buffer port: downstream power
@@ -387,41 +425,53 @@ impl<T: TraceSink> Network<T> {
             });
         }
         // Downstream power, derived from the same out VC states the policy
-        // saw: only idle VCs are ever gated.
-        let idle: Vec<bool> = match up {
-            Upstream::RouterOut { node, port } => self.routers[node].outputs[port]
-                .vcs
-                .iter()
-                .map(|v| v.state == OutVcState::Idle)
-                .collect(),
-            Upstream::NicInject { node } => self.nics[node]
-                .inject
-                .vcs
-                .iter()
-                .map(|v| v.state == OutVcState::Idle)
-                .collect(),
+        // saw: only idle VCs are ever gated. Tracked as bitmasks (like the
+        // designation mask itself) so the per-cycle gate path never
+        // allocates.
+        let idle_mask: u32 = {
+            let out_vcs = match up {
+                Upstream::RouterOut { node, port } => &self.routers[node].outputs[port].vcs,
+                Upstream::NicInject { node } => &self.nics[node].inject.vcs,
+            };
+            let mut m = 0u32;
+            for (v, ov) in out_vcs.iter().enumerate() {
+                if v < 32 && ov.state == OutVcState::Idle {
+                    m |= 1 << v;
+                }
+            }
+            m
         };
-        let mut transitions: Vec<(usize, bool)> = Vec::new();
+        let mut turned_on = 0u32;
+        let mut turned_off = 0u32;
         {
             let down_unit = match down {
                 Downstream::RouterIn { node, port } => &mut self.routers[node].inputs[port],
                 Downstream::NicEject { node } => &mut self.nics[node].eject,
             };
             for (v, dvc) in down_unit.vcs.iter_mut().enumerate() {
-                let want_on = if idle[v] { keeps(v) } else { dvc.powered };
+                let is_idle = v < 32 && idle_mask & (1 << v) != 0;
+                let want_on = if is_idle { keeps(v) } else { dvc.powered };
                 if want_on != dvc.powered {
-                    transitions.push((v, want_on));
+                    if want_on {
+                        turned_on |= 1 << v;
+                    } else {
+                        turned_off |= 1 << v;
+                    }
                 }
                 dvc.powered = want_on;
-                if !idle[v] {
+                if !is_idle {
                     debug_assert!(dvc.powered, "busy VC must be powered");
                 }
             }
-            down_unit.gate_transitions += transitions.len() as u64;
+            down_unit.gate_transitions += u64::from((turned_on | turned_off).count_ones());
         }
         if T::ACTIVE {
-            for &(v, on) in &transitions {
-                let kind = if on {
+            for v in 0..num_vcs.min(32) {
+                let bit = 1u32 << v;
+                if (turned_on | turned_off) & bit == 0 {
+                    continue;
+                }
+                let kind = if turned_on & bit != 0 {
                     EventKind::GateOn {
                         port: port.into(),
                         vc: v as u8,
@@ -438,21 +488,18 @@ impl<T: TraceSink> Network<T> {
                 });
             }
         }
-        let woke: Vec<usize> = transitions
-            .iter()
-            .filter(|&&(_, on)| on)
-            .map(|&(v, _)| v)
-            .collect();
         // Sleep-transistor wake-up penalty: a freshly powered VC becomes
         // allocatable only after `wakeup_latency` cycles.
-        if self.cfg.wakeup_latency > 0 && !woke.is_empty() {
+        if self.cfg.wakeup_latency > 0 && turned_on != 0 {
             let usable_at = self.cycle + self.cfg.wakeup_latency;
             let out_vcs = match up {
                 Upstream::RouterOut { node, port } => &mut self.routers[node].outputs[port].vcs,
                 Upstream::NicInject { node } => &mut self.nics[node].inject.vcs,
             };
-            for v in woke {
-                out_vcs[v].usable_at = usable_at;
+            for (v, ov) in out_vcs.iter_mut().enumerate() {
+                if v < 32 && turned_on & (1 << v) != 0 {
+                    ov.usable_at = usable_at;
+                }
             }
         }
     }
@@ -538,23 +585,23 @@ impl<T: TraceSink> Network<T> {
             .cfg
             .routing
             .allowed(&self.mesh, NodeId(r_idx), dst);
-        match dirs.len() {
-            0 => Direction::Local,
-            1 => dirs[0],
-            _ => {
-                let first = dirs[0];
-                dirs.into_iter()
-                    .max_by_key(|d| {
-                        // Prefer the output port with the most downstream
-                        // credits — the standard local-congestion heuristic.
-                        self.routers[r_idx].outputs[d.index()]
-                            .vcs
-                            .iter()
-                            .map(|v| v.credits)
-                            .sum::<usize>()
-                    })
-                    .unwrap_or(first)
-            }
+        match dirs.as_slice() {
+            [] => Direction::Local,
+            [only] => *only,
+            [first, ..] => dirs
+                .as_slice()
+                .iter()
+                .copied()
+                .max_by_key(|d| {
+                    // Prefer the output port with the most downstream
+                    // credits — the standard local-congestion heuristic.
+                    self.routers[r_idx].outputs[d.index()]
+                        .vcs
+                        .iter()
+                        .map(|v| v.credits)
+                        .sum::<usize>()
+                })
+                .unwrap_or(*first),
         }
     }
 
@@ -579,8 +626,8 @@ impl<T: TraceSink> Network<T> {
                 &mut self.trace,
             );
             let winners = self.routers[r_idx].switch_allocation(now);
-            self.work.sa_grants += winners.len() as u64;
-            for w in winners {
+            for w in winners.into_iter().flatten() {
+                self.work.sa_grants += 1;
                 self.traverse(r_idx, w, now);
             }
         }
@@ -604,16 +651,21 @@ impl<T: TraceSink> Network<T> {
                     .arrivals
                     .push_back((arrive, flit));
             }
-            let (credits, done, drained) = self.nics[n_idx].drain_eject(now, &mut self.trace);
+            let drained = self.nics[n_idx].drain_eject(
+                now,
+                &mut self.trace,
+                &mut self.eject_credits,
+                &mut self.eject_done,
+            );
             let when = now + self.cfg.credit_latency;
-            for c in credits {
+            for &c in &self.eject_credits {
                 self.routers[n_idx].outputs[Direction::Local.index()]
                     .credit_arrivals
                     .push_back((when, c));
             }
             self.stats.flits_ejected += drained as u64;
             self.flits_ejected_total += drained as u64;
-            for pkt in done {
+            for &pkt in &self.eject_done {
                 self.stats.packets_ejected += 1;
                 let latency = now - pkt.injected_at;
                 self.stats.record_latency(latency);
@@ -994,12 +1046,15 @@ impl<T: TraceSink> Network<T> {
         let cycle = self.cycle;
         let full = self.invariants == InvariantLevel::Full;
         self.stats.invariant_checks += 1;
+        // lint:allow(alloc-in-hot-path) diagnostic pass: only runs with invariants enabled
         let mut found = Vec::new();
         let in_network = self.flits_in_network() as u64;
         if self.flits_sent_total != self.flits_ejected_total + in_network {
+            // lint:allow(alloc-in-hot-path) cold branch: only runs on a violation
             found.push(InvariantViolation {
                 cycle,
                 kind: InvariantKind::FlitConservation,
+                // lint:allow(alloc-in-hot-path) cold branch: only runs on a violation
                 detail: format!(
                     "{} flits entered the network but {} delivered + {} in flight",
                     self.flits_sent_total, self.flits_ejected_total, in_network
@@ -1027,16 +1082,17 @@ impl<T: TraceSink> Network<T> {
         if !self.invariants.is_enabled() {
             return;
         }
-        let idle_on = self
-            .vc_statuses(port)
-            .iter()
-            .filter(|&&s| s == VcStatus::IdleOn)
-            .count();
+        let mut statuses = std::mem::take(&mut self.status_scratch);
+        self.vc_statuses_into(port, &mut statuses);
+        let idle_on = statuses.iter().filter(|&&s| s == VcStatus::IdleOn).count();
+        self.status_scratch = statuses;
         if idle_on > budget {
             let cycle = self.cycle;
+            // lint:allow(alloc-in-hot-path) cold branch: only runs on a violation
             self.absorb_violations(vec![InvariantViolation {
                 cycle,
                 kind: InvariantKind::IdleOnBudget,
+                // lint:allow(alloc-in-hot-path) cold branch: only runs on a violation
                 detail: format!("port {port}: {idle_on} idle-on VCs exceed the budget of {budget}"),
             }]);
         }
@@ -1074,9 +1130,11 @@ impl<T: TraceSink> Network<T> {
                     .count();
                 let sum = ov.credits + credits_in_flight + buffered + flits_in_flight;
                 if sum != depth {
+                    // lint:allow(alloc-in-hot-path) cold branch: only runs on a violation
                     out.push(InvariantViolation {
                         cycle,
                         kind: InvariantKind::CreditConservation,
+                        // lint:allow(alloc-in-hot-path) cold branch: only runs on a violation
                         detail: format!(
                             "channel {pid} vc{v}: {} credit(s) held + {credits_in_flight} in \
                              flight + {buffered} buffered + {flits_in_flight} flit(s) on the \
@@ -1099,11 +1157,13 @@ impl<T: TraceSink> Network<T> {
                 self.trace.emit(TraceEvent {
                     cycle: v.cycle,
                     kind: EventKind::Violation {
+                        // lint:allow(alloc-in-hot-path) cold branch: only runs on a violation
                         kind: v.kind.id().to_string(),
                     },
                 });
             }
             if self.violations.len() < MAX_RECORDED_VIOLATIONS {
+                // lint:allow(alloc-in-hot-path) cold branch: only runs on a violation
                 self.violations.push(v);
             }
         }

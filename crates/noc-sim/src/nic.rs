@@ -123,16 +123,21 @@ impl Nic {
     }
 
     /// Runs the ejection side for one cycle: drains at most one arrived
-    /// flit per VC. Returns the credits to send to the router's local
-    /// output port and the packets completed this cycle. Each drained flit
-    /// is traced as an [`EventKind::FlitEject`] when the sink is active.
+    /// flit per VC. Fills `credits` with the credits to send to the
+    /// router's local output port and `done` with the packets completed
+    /// this cycle (both are cleared first — pass caller-owned scratch so
+    /// the steady state never allocates), and returns the drained flit
+    /// count. Each drained flit is traced as an [`EventKind::FlitEject`]
+    /// when the sink is active.
     pub fn drain_eject<T: TraceSink>(
         &mut self,
         now: u64,
         trace: &mut T,
-    ) -> (Vec<Credit>, Vec<EjectedPacket>, usize) {
-        let mut credits = Vec::new();
-        let mut done = Vec::new();
+        credits: &mut Vec<Credit>,
+        done: &mut Vec<EjectedPacket>,
+    ) -> usize {
+        credits.clear();
+        done.clear();
         let mut drained = 0usize;
         let node = self.node;
         for (vc_idx, vc) in self.eject.vcs.iter_mut().enumerate() {
@@ -158,6 +163,7 @@ impl Nic {
                     },
                 });
             }
+            // lint:allow(alloc-in-hot-path) amortized: scratch keeps its capacity
             credits.push(Credit {
                 vc: vc_idx,
                 is_free: flit.is_tail(),
@@ -165,6 +171,7 @@ impl Nic {
             if flit.is_tail() {
                 debug_assert!(vc.buffer.is_empty(), "tail must be the last flit");
                 vc.state = InVcState::Idle;
+                // lint:allow(alloc-in-hot-path) amortized: scratch keeps its capacity
                 done.push(EjectedPacket {
                     id: flit.packet,
                     src: flit.src,
@@ -172,7 +179,7 @@ impl Nic {
                 });
             }
         }
-        (credits, done, drained)
+        drained
     }
 
     /// Appends every invariant violation visible from this NIC's local
@@ -181,6 +188,7 @@ impl Nic {
     pub fn collect_violations(&self, cycle: u64, full: bool, out: &mut Vec<InvariantViolation>) {
         let node = self.node;
         self.eject
+            // lint:allow(alloc-in-hot-path) diagnostic pass: only runs with invariants enabled
             .collect_gating_violations(cycle, &format!("nic {node} eject"), out);
         if !full {
             return;
@@ -188,9 +196,11 @@ impl Nic {
         if let Some(tx) = self.current {
             let ovc = &self.inject.vcs[tx.out_vc];
             if ovc.state != OutVcState::Active {
+                // lint:allow(alloc-in-hot-path) cold branch: only runs on a violation
                 out.push(InvariantViolation {
                     cycle,
                     kind: InvariantKind::VcStateConsistency,
+                    // lint:allow(alloc-in-hot-path) cold branch: only runs on a violation
                     detail: format!(
                         "nic {node} is streaming packet {:?} on inject vc{}, which is {:?}",
                         tx.packet.id, tx.out_vc, ovc.state
@@ -285,13 +295,16 @@ mod tests {
             };
         }
         // Head drained first (ready at 11).
-        let (credits, done, drained) = n.drain_eject(11, &mut noc_telemetry::NullSink);
+        let mut credits = Vec::new();
+        let mut done = Vec::new();
+        let drained = n.drain_eject(11, &mut noc_telemetry::NullSink, &mut credits, &mut done);
         assert_eq!(drained, 1);
         assert_eq!(credits.len(), 1);
         assert!(!credits[0].is_free);
         assert!(done.is_empty());
-        // Tail next (ready at 12): packet completes, VC freed.
-        let (credits, done, _) = n.drain_eject(12, &mut noc_telemetry::NullSink);
+        // Tail next (ready at 12): packet completes, VC freed. The scratch
+        // buffers are cleared by the call itself.
+        n.drain_eject(12, &mut noc_telemetry::NullSink, &mut credits, &mut done);
         assert!(credits[0].is_free);
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].id, PacketId(7));
@@ -305,9 +318,11 @@ mod tests {
         let mut f = crate::flit::split_packet(PacketId(7), NodeId(3), NodeId(0), 1, 0)[0];
         f.vc = 1;
         n.eject.write_flit(f, 20, 4);
-        let (_, _, drained) = n.drain_eject(20, &mut noc_telemetry::NullSink);
+        let mut credits = Vec::new();
+        let mut done = Vec::new();
+        let drained = n.drain_eject(20, &mut noc_telemetry::NullSink, &mut credits, &mut done);
         assert_eq!(drained, 0, "flit only ready at cycle 21");
-        let (_, done, drained) = n.drain_eject(21, &mut noc_telemetry::NullSink);
+        let drained = n.drain_eject(21, &mut noc_telemetry::NullSink, &mut credits, &mut done);
         assert_eq!(drained, 1);
         assert_eq!(done.len(), 1);
     }

@@ -24,6 +24,64 @@ pub enum RoutingAlgorithm {
     WestFirst,
 }
 
+/// A fixed-capacity set of productive directions (at most two on a 2D
+/// mesh under the west-first turn model). `allowed` returns this by value
+/// so the per-flit RC stage never allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirSet {
+    dirs: [Direction; 2],
+    len: u8,
+}
+
+impl Default for DirSet {
+    fn default() -> Self {
+        DirSet::empty()
+    }
+}
+
+impl DirSet {
+    /// The empty set.
+    pub fn empty() -> DirSet {
+        DirSet {
+            dirs: [Direction::Local; 2],
+            len: 0,
+        }
+    }
+
+    /// A one-element set.
+    pub fn single(d: Direction) -> DirSet {
+        DirSet {
+            dirs: [d, Direction::Local],
+            len: 1,
+        }
+    }
+
+    /// Appends a direction (capacity 2; a third is a logic error).
+    fn add(&mut self, d: Direction) {
+        debug_assert!(self.len < 2, "a 2D turn model never offers 3 choices");
+        self.dirs[self.len as usize] = d;
+        self.len += 1;
+    }
+
+    /// The directions as a slice, in preference order.
+    pub fn as_slice(&self) -> &[Direction] {
+        &self.dirs[..self.len as usize]
+    }
+
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The first (most-preferred) direction, if any.
+    pub fn first(&self) -> Option<Direction> {
+        self.as_slice().first().copied()
+    }
+}
+
 impl RoutingAlgorithm {
     /// The output port a packet at `current` must take to reach `dest`,
     /// with the algorithm's *deterministic* tie-break (for `WestFirst`,
@@ -65,7 +123,6 @@ impl RoutingAlgorithm {
             RoutingAlgorithm::WestFirst => self
                 .allowed(mesh, current, dest)
                 .first()
-                .copied()
                 .unwrap_or(Direction::Local),
         }
     }
@@ -78,13 +135,13 @@ impl RoutingAlgorithm {
     /// westward distance remaining *must* go west; otherwise every
     /// remaining productive direction (east/north/south) is allowed and an
     /// adaptive selector may choose among them.
-    pub fn allowed(self, mesh: &Mesh2D, current: NodeId, dest: NodeId) -> Vec<Direction> {
+    pub fn allowed(self, mesh: &Mesh2D, current: NodeId, dest: NodeId) -> DirSet {
         if current == dest {
-            return Vec::new();
+            return DirSet::empty();
         }
         match self {
             RoutingAlgorithm::XY | RoutingAlgorithm::YX => {
-                vec![self.route(mesh, current, dest)]
+                DirSet::single(self.route(mesh, current, dest))
             }
             RoutingAlgorithm::WestFirst => {
                 let (cx, cy) = mesh.coords(current);
@@ -93,16 +150,16 @@ impl RoutingAlgorithm {
                     // All west hops first (minimal routing keeps dx ≥ cx
                     // afterwards, so the forbidden *-to-west turns never
                     // arise).
-                    return vec![Direction::West];
+                    return DirSet::single(Direction::West);
                 }
-                let mut dirs = Vec::with_capacity(2);
+                let mut dirs = DirSet::empty();
                 if dx > cx {
-                    dirs.push(Direction::East);
+                    dirs.add(Direction::East);
                 }
                 if dy > cy {
-                    dirs.push(Direction::South);
+                    dirs.add(Direction::South);
                 } else if dy < cy {
-                    dirs.push(Direction::North);
+                    dirs.add(Direction::North);
                 }
                 dirs
             }
@@ -167,14 +224,20 @@ mod tests {
         let mesh = Mesh2D::square(4);
         let wf = RoutingAlgorithm::WestFirst;
         // From (3,0) to (0,3): west is mandatory while dx < 0.
-        assert_eq!(wf.allowed(&mesh, NodeId(3), NodeId(12)), vec![Direction::West]);
+        assert_eq!(
+            wf.allowed(&mesh, NodeId(3), NodeId(12)).as_slice(),
+            [Direction::West]
+        );
         // From (0,0) to (2,2): east and south both allowed.
         assert_eq!(
-            wf.allowed(&mesh, NodeId(0), NodeId(10)),
-            vec![Direction::East, Direction::South]
+            wf.allowed(&mesh, NodeId(0), NodeId(10)).as_slice(),
+            [Direction::East, Direction::South]
         );
         // Same column: only the Y direction.
-        assert_eq!(wf.allowed(&mesh, NodeId(2), NodeId(10)), vec![Direction::South]);
+        assert_eq!(
+            wf.allowed(&mesh, NodeId(2), NodeId(10)).as_slice(),
+            [Direction::South]
+        );
         // At destination: nothing.
         assert!(wf.allowed(&mesh, NodeId(5), NodeId(5)).is_empty());
         assert_eq!(wf.route(&mesh, NodeId(5), NodeId(5)), Direction::Local);
@@ -194,13 +257,13 @@ mod tests {
                 while cur != b {
                     let dirs = wf.allowed(&mesh, cur, b);
                     assert!(!dirs.is_empty());
-                    for &d in &dirs {
+                    for &d in dirs.as_slice() {
                         if moved_non_west {
                             assert_ne!(d, Direction::West, "{a}->{b} re-offered west");
                         }
                     }
                     // Take the last choice (maximally adversarial order).
-                    let d = *dirs.last().unwrap();
+                    let d = *dirs.as_slice().last().unwrap();
                     if d != Direction::West {
                         moved_non_west = true;
                     }

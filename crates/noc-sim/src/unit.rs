@@ -149,9 +149,11 @@ impl InputUnit {
                 continue;
             }
             if !vc.buffer.is_empty() {
+                // lint:allow(alloc-in-hot-path) cold branch: only runs on a violation
                 out.push(InvariantViolation {
                     cycle,
                     kind: InvariantKind::GatingSafety,
+                    // lint:allow(alloc-in-hot-path) cold branch: only runs on a violation
                     detail: format!(
                         "{location} vc{v} is power-gated but holds {} flit(s)",
                         vc.buffer.len()
@@ -159,9 +161,11 @@ impl InputUnit {
                 });
             }
             if vc.state != InVcState::Idle {
+                // lint:allow(alloc-in-hot-path) cold branch: only runs on a violation
                 out.push(InvariantViolation {
                     cycle,
                     kind: InvariantKind::GatingSafety,
+                    // lint:allow(alloc-in-hot-path) cold branch: only runs on a violation
                     detail: format!(
                         "{location} vc{v} is power-gated but in state {:?}",
                         vc.state

@@ -56,6 +56,7 @@ impl EventDigest {
         let tag = EventKind::TAGS
             .iter()
             .position(|&t| t == ev.kind.tag())
+            // lint:allow(no-unwrap) TAGS is static and total over EventKind
             .expect("tag table covers every variant") as u8;
         self.fold(&[tag]);
         match &ev.kind {

@@ -10,21 +10,53 @@ cargo build --release --offline
 cargo test -q --offline --workspace
 cargo clippy --all-targets --offline -- -D warnings
 
-# Determinism lint: the workspace must be clean, and the fixture tree must
-# trip every rule (the lint crate's own tests assert the exact
-# multiplicities; here we gate on the exit codes).
-cargo run -q --offline -p lint -- --json > /dev/null
-if cargo run -q --offline -p lint -- --root tools/lint/fixtures > /dev/null 2>&1; then
-    echo "ci: lint fixtures unexpectedly clean" >&2
+# Overflow checks: the whole suite again with arithmetic overflow traps
+# on, so release-profile wrap-arounds cannot hide in the simulator's
+# counter and credit arithmetic. A separate target dir keeps the normal
+# incremental caches intact.
+CARGO_TARGET_DIR=target/overflow RUSTFLAGS="-C overflow-checks=on" \
+    cargo test -q --offline --workspace
+
+# Static analysis: the workspace must have zero unsuppressed findings
+# under the full noc-analyze rule set (token rules plus the hot-path
+# allocation, lock-order, blocking-under-lock, and panic-reachability
+# passes).
+cargo run -q --offline -p noc-analyze -- --json > /dev/null || {
+    cargo run -q --offline -p noc-analyze || true
+    echo "ci: noc-analyze found unsuppressed findings" >&2
+    exit 1
+}
+
+# The fixture tree must trip every rule exactly once (the analyzer's own
+# tests assert the exact multiplicities; here we gate the shipped binary).
+if cargo run -q --offline -p noc-analyze -- --root tools/analyze/fixtures > /dev/null 2>&1; then
+    echo "ci: analyzer fixtures unexpectedly clean" >&2
     exit 1
 fi
-fixture_json=$(cargo run -q --offline -p lint -- --json --root tools/lint/fixtures || true)
-for rule in no-unordered-map no-wall-clock no-os-random no-thread-spawn no-unwrap; do
+fixture_json=$(cargo run -q --offline -p noc-analyze -- --json --root tools/analyze/fixtures || true)
+echo "$fixture_json" | grep -q '"count": 9' || {
+    echo "ci: analyzer fixtures must produce exactly 9 findings" >&2
+    exit 1
+}
+for rule in no-unordered-map no-wall-clock no-os-random no-thread-spawn no-unwrap \
+        alloc-in-hot-path lock-order blocking-under-lock panic-reachability; do
     echo "$fixture_json" | grep -q "\"rule\": \"$rule\"" || {
         echo "ci: fixture for rule $rule not detected" >&2
         exit 1
     }
 done
+echo "$fixture_json" | grep -q "acquisition path" || {
+    echo "ci: lock-order finding lost its acquisition-path evidence" >&2
+    exit 1
+}
+
+# Legacy lint shim: still answers the old CLI, still clean on the
+# workspace, still trips the five token rules on the fixture tree.
+cargo run -q --offline -p lint -- --json > /dev/null
+if cargo run -q --offline -p lint -- --root tools/analyze/fixtures > /dev/null 2>&1; then
+    echo "ci: lint shim unexpectedly clean on fixtures" >&2
+    exit 1
+fi
 
 # Model check: every gating policy on small meshes under full runtime
 # invariants (gating safety, conservation, idle-on budget, duty closure).
@@ -156,5 +188,7 @@ cargo run -q --release --offline -p nbti-noc-bench --bin campaign_epochs -- \
     --epochs 4 --measure 1500 --warmup 300 > /dev/null
 cargo run -q --release --offline -p nbti-noc-bench --bin verify_throughput -- \
     --symmetry-only > /dev/null
+cargo run -q --release --offline -p nbti-noc-bench --bin analyze_throughput -- \
+    --iters 3 > /dev/null
 
 echo "ci: all green"

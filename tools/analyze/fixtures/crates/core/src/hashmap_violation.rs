@@ -1,0 +1,7 @@
+//! Analyzer fixture: an unordered collection in a sweep crate.
+//!
+//! Must trip `no-unordered-map` exactly once.
+
+pub fn make() -> std::collections::HashMap<u64, u64> {
+    Default::default()
+}

@@ -1,0 +1,8 @@
+//! Analyzer fixture: OS-seeded randomness.
+//!
+//! Must trip `no-os-random` exactly once.
+
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}

@@ -1,0 +1,25 @@
+//! Analyzer fixture: a panic path reachable from a hot entry point, in a
+//! crate outside the `no-unwrap` scope.
+//!
+//! Must trip `panic-reachability` exactly once by default. The slice
+//! indexing in `peek_head` is counted in `hot_index_sites` but only
+//! reported under `--strict-indexing`.
+
+pub struct Drain {
+    pending: Vec<u64>,
+}
+
+impl Drain {
+    pub fn finish_cycle(&mut self) {
+        self.take_next();
+        self.peek_head();
+    }
+
+    fn take_next(&mut self) -> u64 {
+        self.pending.pop().unwrap()
+    }
+
+    fn peek_head(&self) -> u64 {
+        self.pending[0]
+    }
+}

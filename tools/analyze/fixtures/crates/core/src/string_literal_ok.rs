@@ -1,0 +1,25 @@
+//! Analyzer fixture: forbidden tokens that must NOT fire — inside string
+//! literals, comments, and test-only code.
+//!
+//! Must produce zero findings.
+
+/// Mentions std::collections::HashMap and Instant::now() in prose only,
+// and this line comment quotes thread_rng() and .unwrap() too.
+pub fn describe() -> &'static str {
+    "prefer BTreeMap over HashMap; never call Instant::now() or \
+     thread_rng() in simulation code; .unwrap() is reserved for tests"
+}
+
+pub fn raw_doc() -> &'static str {
+    r#"thread::spawn(|| {}) and SystemTime are quoted here, not used"#
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let mut ages = std::collections::HashMap::new();
+        ages.insert(1u32, std::time::Instant::now());
+        assert!(ages.remove(&1).unwrap() <= std::time::Instant::now());
+    }
+}

@@ -1,0 +1,8 @@
+//! Analyzer fixture: ad-hoc threading outside the deterministic worker
+//! pool.
+//!
+//! Must trip `no-thread-spawn` exactly once.
+
+pub fn fire_and_forget() {
+    std::thread::spawn(|| {});
+}

@@ -1,6 +1,6 @@
-//! Lint fixture: a wall-clock read in simulation code.
+//! Analyzer fixture: a wall-clock read in simulation code.
 //!
-//! Must trigger `no-wall-clock` exactly once.
+//! Must trip `no-wall-clock` exactly once.
 
 pub fn elapsed() -> std::time::Duration {
     let start = std::time::Instant::now();

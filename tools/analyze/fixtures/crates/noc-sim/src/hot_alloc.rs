@@ -1,0 +1,19 @@
+//! Analyzer fixture: an allocation buried one call deep in the per-cycle
+//! path.
+//!
+//! Must trip `alloc-in-hot-path` exactly once, with the hot entry point
+//! reported as call-path evidence.
+
+pub struct Engine {
+    scratch: Vec<u64>,
+}
+
+impl Engine {
+    pub fn begin_cycle(&mut self) {
+        self.refill_scratch();
+    }
+
+    fn refill_scratch(&mut self) {
+        self.scratch = Vec::new();
+    }
+}

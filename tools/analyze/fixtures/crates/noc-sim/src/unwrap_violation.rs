@@ -1,0 +1,13 @@
+//! Analyzer fixture: `.unwrap()` in a simulation hot path.
+//!
+//! Must trip `no-unwrap` exactly once — the first call is suppressed by a
+//! justified `lint:allow` marker, the second is the violation. The file
+//! sits in the `no-unwrap` scope, so `panic-reachability` stays silent
+//! here (one rule per site).
+
+pub fn first_and_last(flits: &[u32]) -> u32 {
+    // lint:allow(no-unwrap) fixture demonstrates a justified suppression
+    let allowed = flits.first().copied().unwrap();
+    let flagged = flits.last().copied().unwrap();
+    allowed + flagged
+}

@@ -1,0 +1,18 @@
+//! Analyzer fixture: a blocking call while a mutex guard is live.
+//!
+//! Must trip `blocking-under-lock` exactly once.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+pub struct Throttle {
+    window: Mutex<u64>,
+}
+
+impl Throttle {
+    pub fn pace(&self) {
+        let window = self.window.lock();
+        std::thread::sleep(Duration::from_millis(1));
+        drop(window);
+    }
+}

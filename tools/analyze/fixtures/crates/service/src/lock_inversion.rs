@@ -1,0 +1,27 @@
+//! Analyzer fixture: a lock-order inversion between two worker-pool
+//! queues.
+//!
+//! Must trip `lock-order` exactly once, reporting both acquisition paths.
+
+use std::sync::Mutex;
+
+pub struct QueuePair {
+    jobs: Mutex<u64>,
+    results: Mutex<u64>,
+}
+
+impl QueuePair {
+    pub fn forward(&self) {
+        let jobs = self.jobs.lock();
+        let results = self.results.lock();
+        drop(results);
+        drop(jobs);
+    }
+
+    pub fn backward(&self) {
+        let results = self.results.lock();
+        let jobs = self.jobs.lock();
+        drop(jobs);
+        drop(results);
+    }
+}

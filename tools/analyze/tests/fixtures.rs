@@ -1,0 +1,136 @@
+//! Golden tests over the fixture tree and the real workspace.
+//!
+//! The fixture tree under `tools/analyze/fixtures/` is built so that
+//! every rule — the five migrated token rules and the four
+//! interprocedural passes — trips exactly once, and so that forbidden
+//! tokens inside string literals, comments, and test-only code stay
+//! silent.
+
+use noc_analyze::{analyze_root, Options, RuleSet};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+fn fixture_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures"))
+}
+
+const ALL_RULES: [&str; 9] = [
+    "alloc-in-hot-path",
+    "blocking-under-lock",
+    "lock-order",
+    "no-os-random",
+    "no-thread-spawn",
+    "no-unordered-map",
+    "no-unwrap",
+    "no-wall-clock",
+    "panic-reachability",
+];
+
+#[test]
+fn every_rule_trips_exactly_once_on_the_fixture_tree() {
+    let a = analyze_root(fixture_root(), &Options::default());
+    let mut per_rule: BTreeMap<&str, usize> = BTreeMap::new();
+    for f in &a.findings {
+        *per_rule.entry(f.rule).or_default() += 1;
+    }
+    assert_eq!(
+        per_rule.keys().copied().collect::<Vec<_>>(),
+        ALL_RULES,
+        "{:#?}",
+        a.findings
+    );
+    assert!(
+        per_rule.values().all(|&n| n == 1),
+        "each rule exactly once: {per_rule:#?}"
+    );
+}
+
+#[test]
+fn interprocedural_findings_carry_call_path_evidence() {
+    let a = analyze_root(fixture_root(), &Options::default());
+    for rule in ["alloc-in-hot-path", "panic-reachability"] {
+        let f = a
+            .findings
+            .iter()
+            .find(|f| f.rule == rule)
+            .unwrap_or_else(|| panic!("missing {rule} fixture finding"));
+        assert!(
+            !f.path.is_empty(),
+            "{rule} must report how the hot entry reaches the site"
+        );
+        assert!(f.path[0].contains(':'), "hops carry file:line: {:?}", f.path);
+    }
+}
+
+#[test]
+fn lock_inversion_reports_both_acquisition_paths() {
+    let a = analyze_root(fixture_root(), &Options::default());
+    let f = a
+        .findings
+        .iter()
+        .find(|f| f.rule == "lock-order")
+        .expect("lock-order fixture finding");
+    assert!(f.message.contains("inversion"), "{}", f.message);
+    assert!(f.message.contains("acquisition path"), "{}", f.message);
+    assert_eq!(f.path.len(), 2, "one hop per conflicting path: {:#?}", f.path);
+}
+
+#[test]
+fn forbidden_tokens_in_strings_comments_and_tests_stay_silent() {
+    let a = analyze_root(fixture_root(), &Options::default());
+    let noisy: Vec<_> = a
+        .findings
+        .iter()
+        .filter(|f| f.file.ends_with("string_literal_ok.rs"))
+        .collect();
+    assert!(noisy.is_empty(), "{noisy:#?}");
+}
+
+#[test]
+fn legacy_ruleset_runs_only_the_five_token_rules() {
+    let opts = Options {
+        rules: RuleSet::Legacy,
+        ..Options::default()
+    };
+    let a = analyze_root(fixture_root(), &opts);
+    assert_eq!(a.findings.len(), 5, "{:#?}", a.findings);
+    assert!(
+        a.findings.iter().all(|f| f.path.is_empty()),
+        "token rules are intraprocedural"
+    );
+    assert!(a
+        .findings
+        .iter()
+        .all(|f| f.rule.starts_with("no-")), "{:#?}", a.findings);
+}
+
+#[test]
+fn strict_indexing_reports_counted_sites() {
+    let default = analyze_root(fixture_root(), &Options::default());
+    assert_eq!(
+        default.hot_index_sites, 1,
+        "the peek_head site is counted even when not reported"
+    );
+    let strict = analyze_root(
+        fixture_root(),
+        &Options {
+            strict_indexing: true,
+            ..Options::default()
+        },
+    );
+    assert_eq!(strict.findings.len(), default.findings.len() + 1);
+    let extra = strict
+        .findings
+        .iter()
+        .find(|f| f.message.contains("slice indexing"))
+        .expect("strict mode reports the indexing site");
+    assert_eq!(extra.rule, "panic-reachability");
+    assert!(extra.file.ends_with("panic_reach.rs"));
+}
+
+#[test]
+fn workspace_has_no_unsuppressed_findings() {
+    let root = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let a = analyze_root(root, &Options::default());
+    assert!(a.findings.is_empty(), "{:#?}", a.findings);
+}
