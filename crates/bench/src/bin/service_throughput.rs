@@ -79,6 +79,7 @@ fn main() {
         workers: bench.workers,
         queue_depth: bench.queue_depth,
         job_timeout_ms: 0,
+        spans_out: None,
     })
     .expect("ephemeral bind");
     let client = ServiceClient::new(server.local_addr().to_string());

@@ -28,9 +28,10 @@ use noc_sim::snapshot::{NetworkSnapshot, SnapshotStateError};
 use noc_sim::stats::NetStats;
 use noc_sim::types::{Direction, NodeId};
 use noc_sim::view::{PortId, PortView, VcStatus};
+use noc_telemetry::profclock;
 use noc_telemetry::{
-    EventKind, MetricsSeries, RecordSink, Sample, TelemetryReport, TelemetrySpec, TraceEvent,
-    TraceSink, WorkCounters,
+    EventKind, MetricsSeries, NullProfiler, Profiler, RecordSink, Sample, Stage, StageProfiler,
+    TelemetryReport, TelemetrySpec, TraceEvent, TraceSink, WorkCounters,
 };
 use noc_traffic::source::{inject_from, TrafficSource};
 use std::collections::BTreeMap;
@@ -261,19 +262,49 @@ pub fn run_experiment_cancellable(
     if cfg.telemetry.trace {
         let sink = RecordSink::with_capacity(cfg.telemetry.trace_capacity);
         let net = Network::with_sink(cfg.noc.clone(), sink).expect("valid NoC configuration");
-        dispatch_sensor(cfg, traffic, net, cancel)
+        dispatch_sensor(cfg, traffic, net, cancel, &mut NullProfiler)
     } else {
         let net = Network::new(cfg.noc.clone()).expect("valid NoC configuration");
-        dispatch_sensor(cfg, traffic, net, cancel)
+        dispatch_sensor(cfg, traffic, net, cancel, &mut NullProfiler)
+    }
+}
+
+/// Runs one experiment like [`run_experiment`], with per-cycle stage
+/// timing recorded into a [`StageProfiler`]. The profiler observes the
+/// run without influencing it: results (and trace digests) are
+/// bit-identical to an unprofiled run of the same config and traffic.
+///
+/// # Panics
+///
+/// Panics if the network configuration is invalid.
+pub fn run_experiment_profiled(
+    cfg: &ExperimentConfig,
+    traffic: &mut dyn TrafficSource,
+) -> (ExperimentResult, StageProfiler) {
+    static NEVER: AtomicBool = AtomicBool::new(false);
+    let mut prof = StageProfiler::new();
+    let run = if cfg.telemetry.trace {
+        let sink = RecordSink::with_capacity(cfg.telemetry.trace_capacity);
+        let net = Network::with_sink(cfg.noc.clone(), sink).expect("valid NoC configuration");
+        dispatch_sensor(cfg, traffic, net, &NEVER, &mut prof)
+    } else {
+        let net = Network::new(cfg.noc.clone()).expect("valid NoC configuration");
+        dispatch_sensor(cfg, traffic, net, &NEVER, &mut prof)
+    };
+    match run {
+        Some(result) => (result, prof),
+        // The flag is never set, so the run always completes.
+        None => unreachable!("uncancellable run reported cancellation"),
     }
 }
 
 /// Builds the monitor for the configured sensor model and enters the loop.
-fn dispatch_sensor<T: TraceSink>(
+fn dispatch_sensor<T: TraceSink, P: Profiler>(
     cfg: &ExperimentConfig,
     traffic: &mut dyn TrafficSource,
     net: Network<T>,
     cancel: &AtomicBool,
+    prof: &mut P,
 ) -> Option<ExperimentResult> {
     let port_ids: Vec<PortId> = net.port_ids().to_vec();
     let mut pv = ProcessVariation::paper_45nm(cfg.pv_seed);
@@ -285,7 +316,7 @@ fn dispatch_sensor<T: TraceSink>(
                 &mut pv,
                 cfg.model,
             );
-            run_loop(cfg, traffic, net, port_ids, monitor, cancel)
+            run_loop(cfg, traffic, net, port_ids, monitor, cancel, prof)
         }
         SensorModel::Quantized {
             lsb,
@@ -302,7 +333,7 @@ fn dispatch_sensor<T: TraceSink>(
                 period,
                 cfg.pv_seed ^ 0x5E45_0B5E,
             );
-            run_loop(cfg, traffic, net, port_ids, monitor, cancel)
+            run_loop(cfg, traffic, net, port_ids, monitor, cancel, prof)
         }
     }
 }
@@ -471,6 +502,7 @@ fn run_epoch_sink<T: TraceSink>(
         monitor,
         &NEVER,
         Some(drain_limit),
+        &mut NullProfiler,
     )?;
     let snapshot = out
         .snapshot
@@ -483,16 +515,18 @@ fn run_epoch_sink<T: TraceSink>(
     })
 }
 
-/// The per-cycle loop, generic over the sensor model and the trace sink.
-fn run_loop<S: NbtiSensor, T: TraceSink>(
+/// The per-cycle loop, generic over the sensor model, the trace sink and
+/// the stage profiler.
+fn run_loop<S: NbtiSensor, T: TraceSink, P: Profiler>(
     cfg: &ExperimentConfig,
     traffic: &mut dyn TrafficSource,
     net: Network<T>,
     port_ids: Vec<PortId>,
     monitor: NbtiMonitor<S>,
     cancel: &AtomicBool,
+    prof: &mut P,
 ) -> Option<ExperimentResult> {
-    match run_loop_inner(cfg, traffic, net, port_ids, monitor, cancel, None) {
+    match run_loop_inner(cfg, traffic, net, port_ids, monitor, cancel, None, prof) {
         Ok(out) => Some(out.result),
         Err(EpochError::Cancelled) => None,
         // Drain/snapshot errors require `drain = Some(..)`.
@@ -511,8 +545,8 @@ fn run_loop<S: NbtiSensor, T: TraceSink>(
 /// drain phase: injection and NBTI recording stop, policies keep deciding,
 /// and the loop steps until the network is quiescent plus a credit-settle
 /// margin (bounded by `limit`), then captures a snapshot.
-#[allow(clippy::too_many_lines)]
-fn run_loop_inner<S: NbtiSensor, T: TraceSink>(
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+fn run_loop_inner<S: NbtiSensor, T: TraceSink, P: Profiler>(
     cfg: &ExperimentConfig,
     traffic: &mut dyn TrafficSource,
     mut net: Network<T>,
@@ -520,6 +554,7 @@ fn run_loop_inner<S: NbtiSensor, T: TraceSink>(
     mut monitor: NbtiMonitor<S>,
     cancel: &AtomicBool,
     drain: Option<u64>,
+    prof: &mut P,
 ) -> Result<LoopOutcome, EpochError> {
     let mut policies: Vec<Box<dyn GatingPolicy>> = port_ids
         .iter()
@@ -590,7 +625,8 @@ fn run_loop_inner<S: NbtiSensor, T: TraceSink>(
             }
         }
         inject_from(traffic, &mut net);
-        net.begin_cycle();
+        net.begin_cycle_with(prof);
+        let t_ctl = if P::ENABLED { Some(profclock::now()) } else { None };
         for (i, &pid) in port_ids.iter().enumerate() {
             net.fill_port_view(pid, &mut view);
             let action = policies[i].decide(now, &view, md_cache[i]);
@@ -604,7 +640,10 @@ fn run_loop_inner<S: NbtiSensor, T: TraceSink>(
                 net.check_idle_on_budget(pid, budget);
             }
         }
-        net.finish_cycle();
+        if let Some(t) = t_ctl {
+            prof.record(Stage::Controller, profclock::ns_since(t));
+        }
+        net.finish_cycle_with(prof);
         for &pid in &port_ids {
             net.vc_statuses_into(pid, &mut statuses);
             monitor.record_cycle(pid, &statuses);
@@ -1055,6 +1094,36 @@ mod tests {
         // Whole-stream digest is independent of ring capacity and sampler.
         assert_eq!(traced.trace_digest(), again.trace_digest());
         assert!(traced.trace_digest().is_some());
+    }
+
+    #[test]
+    fn profiled_run_is_bit_identical_and_covers_every_stage() {
+        let cfg = || {
+            let noc = NocConfig::paper_synthetic(4, 2);
+            ExperimentConfig::new(noc, PolicyKind::SensorWise)
+                .with_cycles(200, 2_000)
+                .with_telemetry(TelemetrySpec {
+                    trace: true,
+                    trace_capacity: 64,
+                    sample_period: 0,
+                })
+        };
+        let traffic = || {
+            let mesh = noc_sim::topology::Mesh2D::new(2, 2);
+            SyntheticTraffic::uniform(mesh, 0.15, 5, 7)
+        };
+        let plain = run_experiment(&cfg(), &mut traffic());
+        let (profiled, prof) = run_experiment_profiled(&cfg(), &mut traffic());
+        // Timing is an observation, never an input.
+        assert_eq!(plain.net, profiled.net, "profiling must not perturb the run");
+        assert_eq!(plain.ports, profiled.ports);
+        assert_eq!(plain.work, profiled.work);
+        assert_eq!(plain.trace_digest(), profiled.trace_digest());
+        for s in Stage::ALL {
+            assert_eq!(prof.stage(s).count(), 2_200, "{} once per cycle", s.name());
+        }
+        let report = prof.report();
+        assert!(report.to_string().contains("begin_cycle"));
     }
 
     #[test]

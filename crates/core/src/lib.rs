@@ -66,8 +66,8 @@ pub use codec::{
     result_to_json, spec_from_json, spec_to_json, CodecError, JsonValue, WirePort, WireResult,
 };
 pub use experiment::{
-    run_epoch, run_experiment, run_experiment_cancellable, EpochError, EpochOutcome,
-    ExperimentConfig, ExperimentResult, PortResult, SensorModel, SyntheticScenario,
+    run_epoch, run_experiment, run_experiment_cancellable, run_experiment_profiled, EpochError,
+    EpochOutcome, ExperimentConfig, ExperimentResult, PortResult, SensorModel, SyntheticScenario,
     LOAD_CALIBRATION,
 };
 pub use modelcheck::{

@@ -198,6 +198,15 @@ impl ExperimentJob {
         run_experiment(&self.cfg, traffic.as_mut())
     }
 
+    /// Runs this job serially with per-cycle stage timing. The profiler
+    /// observes the run without influencing it — the result is
+    /// bit-identical to [`ExperimentJob::run`] (see
+    /// [`crate::experiment::run_experiment_profiled`]).
+    pub fn run_profiled(&self) -> (ExperimentResult, noc_telemetry::StageProfiler) {
+        let mut traffic = self.traffic.build(&self.cfg.noc);
+        crate::experiment::run_experiment_profiled(&self.cfg, traffic.as_mut())
+    }
+
     /// Runs this job, polling `cancel` periodically; `None` when the flag
     /// was observed set (see
     /// [`crate::experiment::run_experiment_cancellable`]).

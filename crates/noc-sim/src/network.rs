@@ -29,7 +29,10 @@ use crate::topology::Mesh2D;
 use crate::types::{Direction, NodeId};
 use crate::unit::{Credit, InVcState, InputUnit, OutVcState};
 use crate::view::{GateAction, PortId, PortKind, PortView, VcStatus};
-use noc_telemetry::{EventKind, NullSink, TraceEvent, TraceSink, WorkCounters};
+use noc_telemetry::profclock;
+use noc_telemetry::{
+    EventKind, NullProfiler, NullSink, Profiler, Stage, TraceEvent, TraceSink, WorkCounters,
+};
 
 /// Where a cycle currently stands.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -512,7 +515,18 @@ impl<T: TraceSink> Network<T> {
     /// Panics if called twice without an intervening
     /// [`finish_cycle`](Self::finish_cycle).
     pub fn begin_cycle(&mut self) {
+        self.begin_cycle_with(&mut NullProfiler);
+    }
+
+    /// [`begin_cycle`](Self::begin_cycle) with per-stage timing delivered
+    /// to `prof`. Records [`Stage::BeginCycle`] (whole half-cycle) and
+    /// [`Stage::Routing`] (time inside route computation) once per call.
+    /// With [`NullProfiler`] every clock read is compiled out and this is
+    /// the plain `begin_cycle`.
+    pub fn begin_cycle_with<P: Profiler>(&mut self, prof: &mut P) {
         assert_eq!(self.phase, Phase::Idle, "begin_cycle called twice");
+        let t_begin = if P::ENABLED { Some(profclock::now()) } else { None };
+        let mut routing_ns = 0u64;
         let now = self.cycle;
         let depth = self.cfg.buffer_depth;
         // Credits.
@@ -541,7 +555,11 @@ impl<T: TraceSink> Network<T> {
                     unit.write_flit(flit, now, depth);
                     self.work.bw_writes += 1;
                     if is_head {
+                        let t_rc = if P::ENABLED { Some(profclock::now()) } else { None };
                         let outport = self.compute_route(r_idx, dst);
+                        if let Some(t) = t_rc {
+                            routing_ns += profclock::ns_since(t);
+                        }
                         self.work.rc_computes += 1;
                         self.routers[r_idx].inputs[p_idx].vcs[vc_idx].state =
                             InVcState::Waiting { outport };
@@ -575,6 +593,10 @@ impl<T: TraceSink> Network<T> {
             }
         }
         self.phase = Phase::Mid;
+        if let Some(t) = t_begin {
+            prof.record(Stage::Routing, routing_ns);
+            prof.record(Stage::BeginCycle, profclock::ns_since(t));
+        }
     }
 
     /// The RC stage for one head flit: the configured algorithm's routing
@@ -613,11 +635,25 @@ impl<T: TraceSink> Network<T> {
     ///
     /// Panics if called before [`begin_cycle`](Self::begin_cycle).
     pub fn finish_cycle(&mut self) {
+        self.finish_cycle_with(&mut NullProfiler);
+    }
+
+    /// [`finish_cycle`](Self::finish_cycle) with per-stage timing
+    /// delivered to `prof`. Records [`Stage::FinishCycle`] (whole
+    /// half-cycle), [`Stage::Allocation`] (VA + SA) and
+    /// [`Stage::Traversal`] (switch/link traversal of SA winners) once
+    /// per call. With [`NullProfiler`] every clock read is compiled out
+    /// and this is the plain `finish_cycle`.
+    pub fn finish_cycle_with<P: Profiler>(&mut self, prof: &mut P) {
         assert_eq!(self.phase, Phase::Mid, "finish_cycle before begin_cycle");
+        let t_finish = if P::ENABLED { Some(profclock::now()) } else { None };
+        let mut alloc_ns = 0u64;
+        let mut trav_ns = 0u64;
         let now = self.cycle;
         let depth = self.cfg.buffer_depth;
         // VA + SA + traversal per router.
         for r_idx in 0..self.routers.len() {
+            let t_alloc = if P::ENABLED { Some(profclock::now()) } else { None };
             self.routers[r_idx].vc_allocation(
                 now,
                 depth,
@@ -626,9 +662,16 @@ impl<T: TraceSink> Network<T> {
                 &mut self.trace,
             );
             let winners = self.routers[r_idx].switch_allocation(now);
+            if let Some(t) = t_alloc {
+                alloc_ns += profclock::ns_since(t);
+            }
+            let t_trav = if P::ENABLED { Some(profclock::now()) } else { None };
             for w in winners.into_iter().flatten() {
                 self.work.sa_grants += 1;
                 self.traverse(r_idx, w, now);
+            }
+            if let Some(t) = t_trav {
+                trav_ns += profclock::ns_since(t);
             }
         }
         // NIC injection and ejection.
@@ -686,6 +729,11 @@ impl<T: TraceSink> Network<T> {
         if self.invariants.is_enabled() {
             self.check_invariants_now();
         }
+        if let Some(t) = t_finish {
+            prof.record(Stage::Allocation, alloc_ns);
+            prof.record(Stage::Traversal, trav_ns);
+            prof.record(Stage::FinishCycle, profclock::ns_since(t));
+        }
     }
 
     /// One full cycle with no gating changes (the NBTI-unaware baseline
@@ -693,6 +741,12 @@ impl<T: TraceSink> Network<T> {
     pub fn step(&mut self) {
         self.begin_cycle();
         self.finish_cycle();
+    }
+
+    /// [`step`](Self::step) with per-stage timing delivered to `prof`.
+    pub fn step_with<P: Profiler>(&mut self, prof: &mut P) {
+        self.begin_cycle_with(prof);
+        self.finish_cycle_with(prof);
     }
 
     /// Runs `n` full cycles.
@@ -1225,6 +1279,7 @@ impl<T: TraceSink> Network<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use noc_telemetry::StageProfiler;
 
     fn net(cores: usize, vcs: usize) -> Network {
         Network::new(NocConfig::paper_synthetic(cores, vcs)).unwrap()
@@ -1289,6 +1344,39 @@ mod tests {
         // Sanity: a 1-hop packet of 5 flits should complete within a few
         // dozen cycles.
         assert!(near < 30.0, "near latency = {near}");
+    }
+
+    #[test]
+    fn profiled_run_is_bit_identical_and_times_every_stage() {
+        let drive = |prof: &mut dyn FnMut(&mut Network)| {
+            let mut n = net(16, 2);
+            for src in 0..16 {
+                n.inject_packet(NodeId(src), NodeId(15 - src));
+            }
+            for _ in 0..300 {
+                prof(&mut n);
+            }
+            n
+        };
+        let plain = drive(&mut |n| n.step());
+        let mut sp = StageProfiler::new();
+        let profiled = drive(&mut |n| n.step_with(&mut sp));
+        // Timing is an observation, never an input: identical stats.
+        assert_eq!(plain.stats(), profiled.stats());
+        assert_eq!(plain.cycle(), profiled.cycle());
+        for s in Stage::ALL {
+            // The controller stage belongs to the experiment loop; the
+            // network itself records the other five, once per cycle.
+            if s != Stage::Controller {
+                assert_eq!(sp.stage(s).count(), 300, "{} count", s.name());
+            }
+        }
+        // Sub-stages cannot exceed their enclosing half-cycle totals.
+        assert!(sp.stage(Stage::Routing).sum() <= sp.stage(Stage::BeginCycle).sum());
+        assert!(
+            sp.stage(Stage::Allocation).sum() + sp.stage(Stage::Traversal).sum()
+                <= sp.stage(Stage::FinishCycle).sum()
+        );
     }
 
     #[test]

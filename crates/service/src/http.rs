@@ -130,8 +130,20 @@ pub fn write_json_response(
     extra_headers: &[(&str, &str)],
     body: &str,
 ) {
+    write_response(stream, status, "application/json", extra_headers, body);
+}
+
+/// Writes a response with an explicit content type (the `/metrics`
+/// exposition is `text/plain`, everything else JSON).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) {
     let mut out = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
         reason(status),
         body.len()
     );

@@ -98,6 +98,8 @@ pub struct JobRecord {
     pub timed_out: Arc<AtomicBool>,
     /// Wall-clock deadline, set when the job starts running.
     pub deadline: Option<Instant>,
+    /// When the submission was accepted — the job span's start.
+    pub submitted_at: Instant,
 }
 
 /// Aggregate terminal-state counts (the shutdown report's core).
@@ -145,6 +147,7 @@ impl JobTable {
             cancel: Arc::new(AtomicBool::new(false)),
             timed_out: Arc::new(AtomicBool::new(false)),
             deadline: None,
+            submitted_at: clock::now(),
         };
         self.lock().insert(id, record);
         id

@@ -5,8 +5,11 @@
 //!
 //! * [`server`] — the HTTP/1.1 API: submit specs (`POST /jobs`), poll
 //!   (`GET /jobs/{id}`), fetch results (`GET /jobs/{id}/result`), cancel
-//!   (`DELETE /jobs/{id}`), observe (`GET /stats`), and shut down
-//!   (`POST /shutdown`),
+//!   (`DELETE /jobs/{id}`), observe (`GET /stats` as JSON, `GET /metrics`
+//!   as Prometheus text exposition), and shut down (`POST /shutdown`),
+//! * [`metrics`] — the lock-light [`MetricsRegistry`] both observation
+//!   endpoints render from: atomic counters, per-endpoint request-latency
+//!   histograms, worker busy time,
 //! * [`queue`] — the bounded MPMC job queue; a full queue is surfaced to
 //!   clients as `429` + `Retry-After`, never a blocked handler,
 //! * [`jobs`] — the job table and lifecycle state machine; every accepted
@@ -38,10 +41,12 @@ pub mod client;
 pub mod clock;
 pub mod http;
 pub mod jobs;
+pub mod metrics;
 pub mod queue;
 pub mod server;
 
 pub use client::{JobStatus, ServiceClient, Submitted};
 pub use jobs::{JobCounts, JobId, JobState};
+pub use metrics::{Endpoint, GaugeView, MetricsRegistry};
 pub use queue::{BoundedQueue, PushError};
 pub use server::{Server, ServiceConfig, ShutdownReport};

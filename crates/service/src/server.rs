@@ -22,19 +22,21 @@
 //! happened to every accepted job.
 
 use crate::clock;
-use crate::http::{read_request, write_json_response, Request};
+use crate::http::{read_request, write_response, Request};
 use crate::jobs::{JobCounts, JobState, JobTable};
+use crate::metrics::{Endpoint, GaugeView, MetricsRegistry};
 use crate::queue::{BoundedQueue, PushError};
+use noc_telemetry::spans::{derive_id, FlightRecorder, Span, SpanKind, NO_PARENT};
 use sensorwise::codec::{json_string, result_to_json, spec_from_json, spec_to_json, JsonValue};
 use sensorwise::ResultCache;
 use std::fmt;
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long the acceptor sleeps when no connection is pending.
 const ACCEPT_POLL: Duration = Duration::from_millis(2);
@@ -42,6 +44,8 @@ const ACCEPT_POLL: Duration = Duration::from_millis(2);
 const SUPERVISOR_POLL: Duration = Duration::from_millis(10);
 /// The `Retry-After` hint (seconds) sent with `429`.
 const RETRY_AFTER_SECS: &str = "1";
+/// How many spans the flight recorder keeps (oldest evicted first).
+const FLIGHT_RECORDER_CAPACITY: usize = 4096;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -54,6 +58,10 @@ pub struct ServiceConfig {
     pub queue_depth: usize,
     /// Per-job wall-clock timeout in milliseconds; `0` disables.
     pub job_timeout_ms: u64,
+    /// Where the span flight recorder is dumped (JSONL, appended) on
+    /// worker failure, job timeout, or shutdown; `None` disables dumps
+    /// (spans are still recorded in the in-memory ring).
+    pub spans_out: Option<String>,
 }
 
 impl Default for ServiceConfig {
@@ -63,6 +71,7 @@ impl Default for ServiceConfig {
             workers: 2,
             queue_depth: 16,
             job_timeout_ms: 0,
+            spans_out: None,
         }
     }
 }
@@ -114,8 +123,6 @@ struct Shared {
     table: JobTable,
     /// Optional content-addressed result cache.
     cache: Option<CacheHandle>,
-    /// Submissions answered straight from the cache.
-    cache_hits: AtomicU64,
     /// `false` once shutdown starts: `POST /jobs` answers `503`.
     accepting: AtomicBool,
     /// Set by `POST /shutdown` and `request_shutdown`.
@@ -125,9 +132,38 @@ struct Shared {
     /// Terminates the acceptor and supervisor loops (set by `wait` after
     /// the workers have drained, so polls keep working until the end).
     stop: AtomicBool,
-    accepted: AtomicU64,
-    rejected_busy: AtomicU64,
+    /// Counters and request-latency histograms behind `/metrics` and
+    /// `/stats` (one source of truth for both).
+    metrics: MetricsRegistry,
+    /// Bounded ring of request/job/experiment spans.
+    recorder: FlightRecorder,
+    /// Span-dump target (see [`ServiceConfig::spans_out`]).
+    spans_out: Option<String>,
+    /// Span time origin: every `start_us` is relative to this instant.
+    started: Instant,
     timeout_ms: u64,
+}
+
+impl Shared {
+    /// Microseconds since the server started — the span clock.
+    fn span_clock_us(&self) -> u64 {
+        clock::micros_since(self.started)
+    }
+
+    /// Appends the flight recorder's contents to `spans_out`, if set.
+    /// Dump errors are swallowed: span loss must never fail serving.
+    fn dump_spans(&self) {
+        let Some(path) = &self.spans_out else { return };
+        if self.recorder.is_empty() {
+            return;
+        }
+        let jsonl = self.recorder.to_jsonl();
+        if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+            use std::io::Write;
+            let _ = f.write_all(jsonl.as_bytes());
+        }
+        let _ = self.recorder.drain();
+    }
 }
 
 /// A running server. Dropping it without calling [`Server::wait`] leaks
@@ -181,13 +217,14 @@ impl Server {
             queue: BoundedQueue::new(cfg.queue_depth),
             table: JobTable::default(),
             cache: cache.map(CacheHandle),
-            cache_hits: AtomicU64::new(0),
             accepting: AtomicBool::new(true),
             shutdown: AtomicBool::new(false),
             force: AtomicBool::new(false),
             stop: AtomicBool::new(false),
-            accepted: AtomicU64::new(0),
-            rejected_busy: AtomicU64::new(0),
+            metrics: MetricsRegistry::default(),
+            recorder: FlightRecorder::new(FLIGHT_RECORDER_CAPACITY),
+            spans_out: cfg.spans_out.clone(),
+            started: clock::now(),
             timeout_ms: cfg.job_timeout_ms,
         });
 
@@ -251,6 +288,9 @@ impl Server {
         for h in acceptor_and_supervisor.drain(..) {
             let _ = h.join();
         }
+        // The final accounting is also a span-dump point: whatever the
+        // flight recorder still holds describes the flight that just ended.
+        self.shared.dump_spans();
         let c = self.shared.table.counts();
         report_from(&self.shared, &c)
     }
@@ -263,20 +303,20 @@ impl Server {
     /// Submissions answered straight from the result cache (0 when the
     /// server runs without one).
     pub fn cache_hits(&self) -> u64 {
-        self.shared.cache_hits.load(Ordering::Relaxed)
+        self.shared.metrics.cache_hits()
     }
 }
 
 fn report_from(shared: &Shared, c: &JobCounts) -> ShutdownReport {
     ShutdownReport {
-        accepted: shared.accepted.load(Ordering::Relaxed),
+        accepted: shared.metrics.accepted(),
         completed: c.done,
         failed: c.failed,
         cancelled: c.cancelled,
         timed_out: c.timed_out,
         dropped: c.dropped,
-        rejected_busy: shared.rejected_busy.load(Ordering::Relaxed),
-        cache_hits: shared.cache_hits.load(Ordering::Relaxed),
+        rejected_busy: shared.metrics.rejected_busy(),
+        cache_hits: shared.metrics.cache_hits(),
     }
 }
 
@@ -299,7 +339,13 @@ fn worker_loop(shared: &Shared) {
         let Some((job, cancel, timed_out)) = shared.table.claim(id, shared.timeout_ms) else {
             continue;
         };
+        let submitted_at = shared.table.with(id, |r| r.submitted_at);
+        let exp_start_us = shared.span_clock_us();
+        let t_run = clock::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| job.run_cancellable(&cancel)));
+        let busy_us = clock::micros_since(t_run);
+        shared.metrics.add_worker_busy_us(busy_us);
+        record_job_spans(shared, id, submitted_at, exp_start_us, busy_us);
         match outcome {
             Ok(Some(result)) => {
                 let digest = result.trace_digest();
@@ -320,6 +366,9 @@ fn worker_loop(shared: &Shared) {
                     JobState::Cancelled
                 };
                 shared.table.finish(id, state, None, None, None);
+                if state == JobState::TimedOut {
+                    shared.dump_spans();
+                }
             }
             Err(panic) => {
                 let msg = panic
@@ -330,9 +379,43 @@ fn worker_loop(shared: &Shared) {
                 shared
                     .table
                     .finish(id, JobState::Failed, None, None, Some(msg));
+                shared.dump_spans();
             }
         }
     }
+}
+
+/// Records the job span (accept → terminal) and the experiment span
+/// (worker execution) for one finished job. Ids are derived from logical
+/// coordinates, so the chain request → job → experiment reconnects in
+/// the summarizer without any handle threading: the job's parent is the
+/// submit request span, the experiment's parent is the job span.
+fn record_job_spans(
+    shared: &Shared,
+    id: u64,
+    submitted_at: Option<Instant>,
+    exp_start_us: u64,
+    busy_us: u64,
+) {
+    let submit_span = derive_id(SpanKind::Request, Endpoint::Submit.label(), NO_PARENT);
+    let name = format!("job-{id}");
+    let job_start_us = match submitted_at {
+        Some(at) => {
+            let since_start = at.saturating_duration_since(shared.started);
+            u64::try_from(since_start.as_micros()).unwrap_or(u64::MAX)
+        }
+        None => exp_start_us,
+    };
+    let job_span = Span::new(
+        SpanKind::Job,
+        &name,
+        submit_span,
+        job_start_us,
+        shared.span_clock_us().saturating_sub(job_start_us),
+    );
+    let exp_span = Span::new(SpanKind::Experiment, &name, job_span.id, exp_start_us, busy_us);
+    shared.recorder.record(job_span);
+    shared.recorder.record(exp_span);
 }
 
 fn supervisor_loop(shared: &Shared) {
@@ -358,23 +441,42 @@ fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
 }
 
 fn handle_connection(stream: &mut TcpStream, shared: &Shared) {
+    let start_us = shared.span_clock_us();
+    let t_req = clock::now();
     let request = match read_request(stream) {
         Ok(r) => r,
         Err(e) => {
             let body = format!("{{\"error\":{}}}", json_string(&e));
-            write_json_response(stream, 400, &[], &body);
+            write_response(stream, 400, "application/json", &[], &body);
+            finish_request(shared, Endpoint::Other, start_us, t_req);
             return;
         }
     };
-    let (status, headers, body) = route(&request, shared);
+    let endpoint = Endpoint::classify(&request.method, &request.path);
+    let (status, content_type, headers, body) = route(&request, shared);
     let header_refs: Vec<(&str, &str)> = headers
         .iter()
         .map(|(n, v)| (*n, v.as_str()))
         .collect();
-    write_json_response(stream, status, &header_refs, &body);
+    write_response(stream, status, content_type, &header_refs, &body);
+    finish_request(shared, endpoint, start_us, t_req);
 }
 
-type Routed = (u16, Vec<(&'static str, String)>, String);
+/// Request bookkeeping after the response went out: one histogram
+/// observation and one request span. Neither sits on the reply path.
+fn finish_request(shared: &Shared, endpoint: Endpoint, start_us: u64, t_req: Instant) {
+    let us = clock::micros_since(t_req);
+    shared.metrics.observe_request(endpoint, us);
+    shared.recorder.record(Span::new(
+        SpanKind::Request,
+        endpoint.label(),
+        NO_PARENT,
+        start_us,
+        us,
+    ));
+}
+
+type Routed = (u16, &'static str, Vec<(&'static str, String)>, String);
 
 fn route(req: &Request, shared: &Shared) -> Routed {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
@@ -384,8 +486,9 @@ fn route(req: &Request, shared: &Shared) -> Routed {
         ("GET", ["jobs", id, "result"]) => with_id(id, |id| result(id, shared)),
         ("DELETE", ["jobs", id]) => with_id(id, |id| cancel(id, shared)),
         ("GET", ["stats"]) => stats(shared),
+        ("GET", ["metrics"]) => metrics(shared),
         ("POST", ["shutdown"]) => shutdown(req, shared),
-        (_, ["jobs"] | ["jobs", ..] | ["stats"] | ["shutdown"]) => plain(
+        (_, ["jobs"] | ["jobs", ..] | ["stats"] | ["metrics"] | ["shutdown"]) => plain(
             405,
             "{\"error\":\"method not allowed\"}".to_string(),
         ),
@@ -394,7 +497,7 @@ fn route(req: &Request, shared: &Shared) -> Routed {
 }
 
 fn plain(status: u16, body: String) -> Routed {
-    (status, Vec::new(), body)
+    (status, "application/json", Vec::new(), body)
 }
 
 fn with_id(raw: &str, f: impl FnOnce(u64) -> Routed) -> Routed {
@@ -428,8 +531,8 @@ fn submit(req: &Request, shared: &Shared) -> Routed {
     if let Some(cache) = &shared.cache {
         if let Some(wire) = cache.0.get(&canonical) {
             let id = shared.table.insert(job, canonical);
-            shared.accepted.fetch_add(1, Ordering::Relaxed);
-            shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.inc_accepted();
+            shared.metrics.inc_cache_hit();
             let digest = wire.trace_digest;
             shared
                 .table
@@ -439,18 +542,20 @@ fn submit(req: &Request, shared: &Shared) -> Routed {
                 format!("{{\"id\":{id},\"status\":\"done\",\"cached\":true}}"),
             );
         }
+        shared.metrics.inc_cache_miss();
     }
     let id = shared.table.insert(job, canonical);
     match shared.queue.try_push(id) {
         Ok(()) => {
-            shared.accepted.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.inc_accepted();
             plain(202, format!("{{\"id\":{id},\"status\":\"queued\"}}"))
         }
         Err(PushError::Full) => {
             shared.table.forget(id);
-            shared.rejected_busy.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.inc_rejected_busy();
             (
                 429,
+                "application/json",
                 vec![("Retry-After", RETRY_AFTER_SECS.to_string())],
                 "{\"error\":\"queue full, retry later\"}".to_string(),
             )
@@ -496,18 +601,29 @@ fn cancel(id: u64, shared: &Shared) -> Routed {
     }
 }
 
+/// Samples the gauges both `/stats` and `/metrics` render from.
+fn gauge_view(shared: &Shared) -> GaugeView {
+    GaugeView {
+        accepting: shared.accepting.load(Ordering::SeqCst),
+        queue_len: shared.queue.len(),
+        queue_capacity: shared.queue.capacity(),
+        jobs: shared.table.counts(),
+    }
+}
+
 fn stats(shared: &Shared) -> Routed {
-    let c = shared.table.counts();
+    let g = gauge_view(shared);
+    let c = g.jobs;
     let body = format!(
         "{{\"accepting\":{},\"queue_len\":{},\"queue_depth\":{},\"accepted\":{},\"rejected_busy\":{},\
          \"cache_hits\":{},\
          \"queued\":{},\"running\":{},\"done\":{},\"failed\":{},\"cancelled\":{},\"timed_out\":{},\"dropped\":{}}}",
-        shared.accepting.load(Ordering::SeqCst),
-        shared.queue.len(),
-        shared.queue.capacity(),
-        shared.accepted.load(Ordering::Relaxed),
-        shared.rejected_busy.load(Ordering::Relaxed),
-        shared.cache_hits.load(Ordering::Relaxed),
+        g.accepting,
+        g.queue_len,
+        g.queue_capacity,
+        shared.metrics.accepted(),
+        shared.metrics.rejected_busy(),
+        shared.metrics.cache_hits(),
         c.queued,
         c.running,
         c.done,
@@ -517,6 +633,16 @@ fn stats(shared: &Shared) -> Routed {
         c.dropped,
     );
     plain(200, body)
+}
+
+fn metrics(shared: &Shared) -> Routed {
+    let body = shared.metrics.render(&gauge_view(shared));
+    (
+        200,
+        "text/plain; version=0.0.4; charset=utf-8",
+        Vec::new(),
+        body,
+    )
 }
 
 fn shutdown(req: &Request, shared: &Shared) -> Routed {

@@ -360,7 +360,7 @@ pub struct ParseError {
 }
 
 impl ParseError {
-    fn new(msg: String) -> Self {
+    pub(crate) fn new(msg: String) -> Self {
         ParseError { msg }
     }
 }
@@ -376,7 +376,7 @@ impl std::error::Error for ParseError {}
 /// The raw text of `"key":` … up to the next `,` or `}` at top level.
 /// Sufficient for this crate's own output: values are numbers, booleans,
 /// or strings without escapes.
-fn field_raw<'a>(line: &'a str, key: &str) -> Result<&'a str, ParseError> {
+pub(crate) fn field_raw<'a>(line: &'a str, key: &str) -> Result<&'a str, ParseError> {
     let needle = format!("\"{key}\":");
     let start = line
         .find(&needle)
@@ -395,7 +395,7 @@ fn field_raw<'a>(line: &'a str, key: &str) -> Result<&'a str, ParseError> {
     Ok(&rest[..end])
 }
 
-fn field_u64(line: &str, key: &str) -> Result<u64, ParseError> {
+pub(crate) fn field_u64(line: &str, key: &str) -> Result<u64, ParseError> {
     field_raw(line, key)?
         .parse()
         .map_err(|_| ParseError::new(format!("field `{key}` is not an integer")))
@@ -409,7 +409,7 @@ fn field_bool(line: &str, key: &str) -> Result<bool, ParseError> {
     }
 }
 
-fn field_str<'a>(line: &'a str, key: &str) -> Result<&'a str, ParseError> {
+pub(crate) fn field_str<'a>(line: &'a str, key: &str) -> Result<&'a str, ParseError> {
     let raw = field_raw(line, key)?;
     raw.strip_prefix('"')
         .and_then(|r| r.strip_suffix('"'))

@@ -21,6 +21,15 @@
 //! (deterministic per-phase work counters for hot-path accounting without
 //! wall-clock reads).
 //!
+//! The *performance*-observability layer lives beside those and is the one
+//! deliberate exception to the no-wall-clock rule: [`profile`] (log2-bucket
+//! [`Histogram`] + per-cycle [`StageProfiler`] behind a const-`ENABLED`
+//! generic, same compile-out contract as [`TraceSink::ACTIVE`]), [`spans`]
+//! (request→job→experiment→epoch spans with derived ids, plus a bounded
+//! [`FlightRecorder`] ring), and [`profclock`], the single sanctioned
+//! wall-clock boundary both read from. Timings are observations of a run,
+//! never inputs to it — profiled runs stay bit-identical.
+//!
 //! This crate is dependency-free and knows nothing about the simulator; the
 //! simulator depends on it and maps its own identifiers into [`PortCode`].
 //!
@@ -43,13 +52,18 @@
 pub mod counters;
 pub mod digest;
 pub mod event;
+pub mod profclock;
+pub mod profile;
 pub mod series;
 pub mod sink;
+pub mod spans;
 pub mod spec;
 
 pub use counters::WorkCounters;
 pub use digest::EventDigest;
 pub use event::{read_jsonl, EventKind, ParseError, PortCode, TraceEvent};
+pub use profile::{Histogram, NullProfiler, ProfileReport, Profiler, Stage, StageProfiler};
 pub use series::{MetricsSeries, Sample};
 pub use sink::{EventLog, JsonlSink, NullSink, RecordSink, TraceSink};
+pub use spans::{derive_id, read_spans_jsonl, FlightRecorder, Span, SpanKind, NO_PARENT};
 pub use spec::{TelemetryReport, TelemetrySpec};

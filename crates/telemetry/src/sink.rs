@@ -122,11 +122,15 @@ impl TraceSink for RecordSink {
 }
 
 /// A streaming sink writing one JSONL line per event, keeping the same
-/// rolling digest as [`RecordSink`]. The first write error is sticky:
-/// later emissions are dropped and the error surfaces from
-/// [`JsonlSink::finish`].
+/// rolling digest as [`RecordSink`]. Writes go through an internal
+/// [`io::BufWriter`], so a traced run costs one syscall per buffer, not
+/// one per event; the buffer is flushed by [`JsonlSink::finish`] and,
+/// as a last resort, on drop. The first write error is sticky: later
+/// emissions are dropped and the error surfaces from `finish`.
 pub struct JsonlSink<W: Write> {
-    writer: W,
+    /// `None` only after `finish` took the writer out (so the `Drop`
+    /// flush has nothing left to do).
+    writer: Option<io::BufWriter<W>>,
     line: String,
     total: u64,
     digest: EventDigest,
@@ -144,10 +148,10 @@ impl<W: Write> std::fmt::Debug for JsonlSink<W> {
 }
 
 impl<W: Write> JsonlSink<W> {
-    /// Wraps a writer (buffer it yourself for file targets).
+    /// Wraps a writer. Buffering is internal — hand over the raw file.
     pub fn new(writer: W) -> Self {
         JsonlSink {
-            writer,
+            writer: Some(io::BufWriter::new(writer)),
             line: String::new(),
             total: 0,
             digest: EventDigest::new(),
@@ -165,13 +169,26 @@ impl<W: Write> JsonlSink<W> {
         self.digest.value()
     }
 
-    /// Flushes and returns the writer, or the first sticky write error.
+    /// Flushes the buffer and returns the inner writer, or the first
+    /// sticky write error.
     pub fn finish(mut self) -> io::Result<W> {
         if let Some(e) = self.error.take() {
             return Err(e);
         }
-        self.writer.flush()?;
-        Ok(self.writer)
+        // Taking the writer out disarms the Drop flush.
+        let buf = self.writer.take().expect("writer present until finish");
+        buf.into_inner().map_err(io::IntoInnerError::into_error)
+    }
+}
+
+impl<W: Write> Drop for JsonlSink<W> {
+    /// Best-effort flush for sinks dropped without [`JsonlSink::finish`]
+    /// (e.g. on an error path). Errors here have nowhere to surface and
+    /// are ignored; call `finish` to observe them.
+    fn drop(&mut self) {
+        if let Some(buf) = self.writer.as_mut() {
+            let _ = buf.flush();
+        }
     }
 }
 
@@ -184,7 +201,12 @@ impl<W: Write> TraceSink for JsonlSink<W> {
         }
         self.line.clear();
         ev.write_jsonl(&mut self.line);
-        if let Err(e) = self.writer.write_all(self.line.as_bytes()) {
+        // `finish` consumes the sink, so the writer is always present
+        // here; the quiet fallback keeps the per-cycle path panic-free.
+        let Some(buf) = self.writer.as_mut() else {
+            return;
+        };
+        if let Err(e) = buf.write_all(self.line.as_bytes()) {
             self.error = Some(e);
         }
     }
@@ -205,9 +227,15 @@ mod tests {
         }
     }
 
+    /// Whether `T` records, observed through the generic the simulator
+    /// actually branches on.
+    fn active<T: TraceSink>() -> bool {
+        T::ACTIVE
+    }
+
     #[test]
     fn null_sink_is_inactive() {
-        assert!(!NullSink::ACTIVE);
+        assert!(!active::<NullSink>());
         let mut s = NullSink;
         s.emit(ev(1));
         assert_eq!(s.harvest(), None);
@@ -254,5 +282,54 @@ mod tests {
         let parsed = read_jsonl(std::str::from_utf8(&bytes).expect("utf8")).expect("parses");
         assert_eq!(parsed, all, "file round-trips");
         assert_eq!(EventDigest::of(&parsed), r.digest(), "re-hash matches");
+    }
+
+    #[test]
+    fn buffered_output_is_byte_identical_to_per_event_writes() {
+        // Regression for the BufWriter change: buffering must alter only
+        // the syscall pattern, never a byte of the output.
+        let all: Vec<TraceEvent> = (0..64).map(ev).collect();
+        let mut expected = String::new();
+        for e in &all {
+            e.write_jsonl(&mut expected);
+        }
+        let mut sink = JsonlSink::new(Vec::new());
+        for e in &all {
+            sink.emit(e.clone());
+        }
+        let bytes = sink.finish().expect("vec write never fails");
+        assert_eq!(bytes, expected.as_bytes());
+    }
+
+    #[test]
+    fn dropped_sink_flushes_its_buffer() {
+        use std::sync::{Arc, Mutex};
+
+        /// A writer the test can inspect after the sink is gone.
+        #[derive(Clone)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.lock().expect("test writer").extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let out = Shared(Arc::new(Mutex::new(Vec::new())));
+        {
+            let mut sink = JsonlSink::new(out.clone());
+            sink.emit(ev(1));
+            assert!(
+                out.0.lock().expect("test writer").is_empty(),
+                "one small event must still sit in the buffer"
+            );
+        } // dropped without finish()
+        let bytes = out.0.lock().expect("test writer").clone();
+        let mut expected = String::new();
+        ev(1).write_jsonl(&mut expected);
+        assert_eq!(bytes, expected.as_bytes(), "drop flushed the event");
     }
 }

@@ -114,12 +114,30 @@ test -s "$teldir/metrics.csv" || { echo "ci: empty telemetry metrics" >&2; exit 
     exit 1
 }
 
+# Profiler smoke: `run --profile` must print the per-stage latency table
+# and a kcycles/s throughput summary. (Bit-identity of profiled runs is
+# pinned by the noc-sim and sensorwise unit tests.)
+./target/release/nbti-noc run --cores 4 --vcs 2 --rate 0.1 --policy sw \
+    --warmup 200 --measure 2000 --profile > "$teldir/profile.log" 2>&1
+for stage in begin_cycle routing allocation traversal controller finish_cycle; do
+    grep -q "^$stage " "$teldir/profile.log" || {
+        cat "$teldir/profile.log" >&2
+        echo "ci: run --profile missing stage $stage" >&2
+        exit 1
+    }
+done
+grep -q "kcycles/s" "$teldir/profile.log" || {
+    echo "ci: run --profile reported no throughput summary" >&2
+    exit 1
+}
+
 # Service smoke: serve on an ephemeral port, drive it with the submitting
 # client (which cross-checks every served digest against a local run),
-# then shut down gracefully and verify the drain accounted for every job.
+# scrape the Prometheus exposition, then shut down over HTTP and verify
+# the drain accounted for every job and dumped the span flight recorder.
 servedir=$(mktemp -d)
 ./target/release/nbti-noc serve --addr 127.0.0.1:0 --workers 2 --queue-depth 4 \
-    > "$servedir/serve.log" 2>&1 &
+    --spans-out "$servedir/spans.jsonl" > "$servedir/serve.log" 2>&1 &
 serve_pid=$!
 addr=""
 for _ in $(seq 1 50); do
@@ -129,7 +147,7 @@ for _ in $(seq 1 50); do
 done
 [ -n "$addr" ] || { echo "ci: service never reported its address" >&2; exit 1; }
 ./target/release/nbti-noc submit --addr "$addr" --count 6 --concurrency 3 \
-    --measure 3000 --shutdown > "$servedir/submit.log" 2>&1 || {
+    --measure 3000 > "$servedir/submit.log" 2>&1 || {
     cat "$servedir/submit.log" >&2
     echo "ci: service smoke failed" >&2
     exit 1
@@ -138,11 +156,49 @@ grep -q "digest check: 6/6" "$servedir/submit.log" || {
     echo "ci: served digests did not match local runs" >&2
     exit 1
 }
+
+# Metrics smoke: /metrics must serve Prometheus text exposition whose
+# counters agree with the six jobs the client just ran (and with /stats).
+curl -sf "http://$addr/metrics" > "$servedir/metrics.txt" || {
+    echo "ci: /metrics scrape failed" >&2
+    exit 1
+}
+grep -q '^# TYPE noc_request_duration_us histogram$' "$servedir/metrics.txt" || {
+    echo "ci: /metrics lost the request-latency histogram" >&2
+    exit 1
+}
+grep -q '^noc_accepted_total 6$' "$servedir/metrics.txt" || {
+    cat "$servedir/metrics.txt" >&2
+    echo "ci: /metrics accepted counter != 6" >&2
+    exit 1
+}
+grep -q '^noc_jobs{state="done"} 6$' "$servedir/metrics.txt" || {
+    echo "ci: /metrics jobs-by-state gauge != 6 done" >&2
+    exit 1
+}
+curl -sf "http://$addr/stats" | grep -q '"accepted":6' || {
+    echo "ci: /stats disagrees with /metrics on accepted jobs" >&2
+    exit 1
+}
+
+curl -sf -X POST "http://$addr/shutdown" > /dev/null || {
+    echo "ci: HTTP shutdown failed" >&2
+    exit 1
+}
 wait "$serve_pid" || { echo "ci: serve exited nonzero" >&2; exit 1; }
 serve_pid=""
 grep -q "accepted 6 | completed 6" "$servedir/serve.log" || {
     cat "$servedir/serve.log" >&2
     echo "ci: graceful shutdown did not drain all jobs" >&2
+    exit 1
+}
+
+# Span smoke: the shutdown dump must parse and contain the full
+# request -> job -> experiment chain.
+test -s "$servedir/spans.jsonl" || { echo "ci: no span dump on shutdown" >&2; exit 1; }
+./target/release/nbti-noc spans "$servedir/spans.jsonl" --json \
+    | grep -q '"stage":"request/job/experiment"' || {
+    echo "ci: span summary lost the request/job/experiment chain" >&2
     exit 1
 }
 rm -rf "$servedir"
@@ -190,5 +246,11 @@ cargo run -q --release --offline -p nbti-noc-bench --bin verify_throughput -- \
     --symmetry-only > /dev/null
 cargo run -q --release --offline -p nbti-noc-bench --bin analyze_throughput -- \
     --iters 3 > /dev/null
+cargo run -q --release --offline -p nbti-noc-bench --bin sim_throughput -- \
+    --measure 3000 --warmup 300 > /dev/null
+grep -q '"kcycles_per_sec":' BENCH_sim.json || {
+    echo "ci: sim_throughput did not append a kcycles/s entry" >&2
+    exit 1
+}
 
 echo "ci: all green"

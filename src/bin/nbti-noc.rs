@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! nbti-noc run    [--cores N] [--vcs V] [--rate R] [--policy P] [--warmup N] [--measure N] [--csv]
-//!                 [--trace-out FILE] [--metrics-out FILE] [--sample-period N]
+//!                 [--trace-out FILE] [--metrics-out FILE] [--sample-period N] [--profile]
 //! nbti-noc sweep  [--cores N] [--vcs V] [--warmup N] [--measure N]
 //! nbti-noc record --out FILE [--cores N] [--rate R] [--cycles N] [--seed N]
 //! nbti-noc replay --trace FILE [--cores N] [--vcs V] [--policy P]
@@ -12,6 +12,8 @@
 //!                 [--inject-fault gate-occupied|double-credit|drop-flit]
 //! nbti-noc area
 //! nbti-noc serve  [--addr A] [--workers N] [--queue-depth N] [--timeout-ms N] [--cache-dir DIR]
+//!                 [--spans-out FILE]
+//! nbti-noc spans  FILE [--json]
 //! nbti-noc submit [--addr A] [--count N] [--concurrency N] [--cores N] [--vcs V]
 //!                 [--rate R] [--policy P] [--warmup N] [--measure N] [--seed N] [--shutdown]
 //! nbti-noc campaign run    --checkpoint FILE [--epochs N] [--age-acceleration F] [--drain-limit N]
@@ -29,6 +31,7 @@
 //! the design space.
 
 use nbti_noc::prelude::*;
+use nbti_noc::telemetry::profclock;
 use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write as _};
@@ -231,6 +234,27 @@ fn write_telemetry(result: &sensorwise::ExperimentResult, t: &TelemetryArgs) -> 
     Ok(())
 }
 
+/// Runs `job` with the stage profiler attached and prints the per-stage
+/// latency table plus simulated-throughput summary. With `--json` the
+/// table goes to stderr so stdout stays pure result JSON.
+fn run_profiled(job: &ExperimentJob, cycles: u64, json: bool) -> sensorwise::ExperimentResult {
+    let t0 = profclock::now();
+    let (result, prof) = job.run_profiled();
+    let wall_ms = profclock::ms_since_f64(t0).max(1e-3);
+    let report = prof.report();
+    // cycles/ms is numerically kcycles/s.
+    let kcps = cycles as f64 / wall_ms;
+    let summary = format!("profiled {cycles} cycles in {wall_ms:.1} ms ({kcps:.1} kcycles/s)");
+    if json {
+        eprint!("{report}");
+        eprintln!("{summary}");
+    } else {
+        print!("{report}");
+        println!("{summary}\n");
+    }
+    result
+}
+
 fn cmd_run(args: &Args) -> Result<(), String> {
     let scenario = SyntheticScenario {
         cores: args.get("cores", 16usize)?,
@@ -259,7 +283,11 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         .cfg
         .with_invariants(invariants)
         .with_telemetry(telemetry.spec);
-    let result = job.run();
+    let result = if args.has("profile") {
+        run_profiled(&job, warmup + measure, json)
+    } else {
+        job.run()
+    };
     if json {
         println!("{}", sensorwise::result_to_json(&result));
     } else {
@@ -275,6 +303,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         workers: args.get("workers", 2usize)?,
         queue_depth: args.get("queue-depth", 16usize)?,
         job_timeout_ms: args.get("timeout-ms", 0u64)?,
+        spans_out: args.flags.get("spans-out").cloned(),
     };
     let cache: Option<std::sync::Arc<dyn sensorwise::ResultCache + Send + Sync>> =
         match args.flags.get("cache-dir") {
@@ -765,6 +794,28 @@ fn open_optional_store(args: &Args) -> Result<Option<noc_campaign::FsResultStore
     }
 }
 
+/// The spans sidecar next to a campaign checkpoint: one `epoch` span per
+/// completed epoch, appended as each epoch checkpoints so `campaign
+/// status` can report wall time and throughput without re-running.
+fn campaign_spans_path(checkpoint: &std::path::Path) -> std::path::PathBuf {
+    checkpoint.with_extension("spans.jsonl")
+}
+
+/// Appends one span to `path`. Sidecar timing is observability, not
+/// state: failures are reported but never fail the campaign.
+fn append_span(path: &std::path::Path, span: &Span) {
+    let mut line = String::new();
+    span.write_jsonl(&mut line);
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("warning: cannot append span to {}: {e}", path.display());
+    }
+}
+
 /// Runs every remaining epoch, checkpointing after each one, and prints
 /// the per-epoch aging trajectory plus the final chained digest — the
 /// witness the kill-and-resume smoke test diffs.
@@ -777,11 +828,25 @@ fn run_epochs(
         "{:>5} {:>10} {:>7} {:>16} {:>12} {:>9}",
         "epoch", "end_cycle", "drain", "digest", "max dVth mV", "delay %"
     );
+    let spans_path = campaign_spans_path(checkpoint);
+    let anchor = profclock::now();
     while !campaign.is_finished() {
+        let start_us = profclock::us_since(anchor);
         let report = campaign
             .run_next_epoch(store.map(|s| s as &dyn sensorwise::ResultCache))
             .map_err(|e| e.to_string())?;
+        let dur_us = profclock::us_since(anchor).saturating_sub(start_us);
         campaign.save(checkpoint).map_err(|e| e.to_string())?;
+        append_span(
+            &spans_path,
+            &Span::new(
+                SpanKind::Epoch,
+                &format!("epoch-{}", report.index),
+                NO_PARENT,
+                start_us,
+                dur_us,
+            ),
+        );
         println!(
             "{:>5} {:>10} {:>7} {:>16x} {:>12.4} {:>9.4}",
             report.index,
@@ -793,6 +858,82 @@ fn run_epochs(
         );
     }
     println!("chained digest: {:016x}", campaign.chained_digest());
+    Ok(())
+}
+
+/// Summarizes a span JSONL file (`serve --spans-out`, a worker-failure
+/// dump, or a campaign spans sidecar): aggregates durations per
+/// kind-chain (`request`, `request/job`, `request/job/experiment`,
+/// `epoch`, …) and prints an indented latency breakdown tree.
+fn cmd_spans(file: &str, args: &Args) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    let spans = read_spans_jsonl(&text).map_err(|e| format!("{file}: {e}"))?;
+    if spans.is_empty() {
+        println!("{file}: no spans");
+        return Ok(());
+    }
+    // Spans link by derived id; resolve each span's ancestry to group by
+    // the chain of kinds from its outermost recorded ancestor.
+    let by_id: BTreeMap<u64, &Span> = spans.iter().map(|s| (s.id, s)).collect();
+    let mut groups: BTreeMap<String, Histogram> = BTreeMap::new();
+    for s in &spans {
+        let mut chain = vec![s.kind.tag()];
+        let mut cur = s.parent;
+        // Cap the walk so a (malformed) parent cycle cannot hang us.
+        for _ in 0..8 {
+            if cur == NO_PARENT {
+                break;
+            }
+            let Some(parent) = by_id.get(&cur) else { break };
+            chain.push(parent.kind.tag());
+            cur = parent.parent;
+        }
+        chain.reverse();
+        groups
+            .entry(chain.join("/"))
+            .or_default()
+            .record(s.dur_us);
+    }
+    println!("{}: {} spans", file, spans.len());
+    println!(
+        "{:<34} {:>8} {:>10} {:>10} {:>10} {:>12}",
+        "stage", "count", "p50(us)", "p95(us)", "p99(us)", "total(ms)"
+    );
+    // BTreeMap orders `request` before `request/job`, so parents print
+    // directly above their children; indent by chain depth.
+    for (path, h) in &groups {
+        let depth = path.matches('/').count();
+        let leaf = path.rsplit('/').next().unwrap_or(path);
+        let label = format!("{}{}", "  ".repeat(depth), leaf);
+        println!(
+            "{:<34} {:>8} {:>10} {:>10} {:>10} {:>12.2}",
+            label,
+            h.count(),
+            h.quantile_upper(0.5).unwrap_or(0),
+            h.quantile_upper(0.95).unwrap_or(0),
+            h.quantile_upper(0.99).unwrap_or(0),
+            h.sum() as f64 / 1e3
+        );
+    }
+    if args.has("json") {
+        // Machine-readable variant for scripts, keyed by chain path.
+        let rows: Vec<String> = groups
+            .iter()
+            .map(|(path, h)| {
+                format!(
+                    "{{\"stage\":\"{path}\",\"count\":{},\"p50_us\":{},\"p95_us\":{},\
+                     \"p99_us\":{},\"total_us\":{}}}",
+                    h.count(),
+                    h.quantile_upper(0.5).unwrap_or(0),
+                    h.quantile_upper(0.95).unwrap_or(0),
+                    h.quantile_upper(0.99).unwrap_or(0),
+                    h.sum()
+                )
+            })
+            .collect();
+        println!("[{}]", rows.join(","));
+    }
     Ok(())
 }
 
@@ -843,8 +984,33 @@ fn cmd_campaign(action: &str, args: &Args) -> Result<(), String> {
             if let Some(cycle) = campaign.current_cycle() {
                 println!("simulated cycles: {cycle}");
             }
+            // Wall-time per epoch from the spans sidecar, when present.
+            // Old checkpoints without one degrade to the bare listing.
+            let spans = std::fs::read_to_string(campaign_spans_path(&checkpoint))
+                .ok()
+                .and_then(|text| read_spans_jsonl(&text).ok())
+                .unwrap_or_default();
+            let epoch_wall_us: BTreeMap<String, u64> = spans
+                .iter()
+                .filter(|s| s.kind == SpanKind::Epoch)
+                .map(|s| (s.name.clone(), s.dur_us))
+                .collect();
+            let mut prev_end = 0u64;
             for (i, (end, digest)) in campaign.epoch_ends().iter().enumerate() {
-                println!("  epoch {i}: end_cycle {end} digest {digest:016x}");
+                let cycles = end.saturating_sub(prev_end);
+                prev_end = *end;
+                match epoch_wall_us.get(&format!("epoch-{i}")) {
+                    Some(&us) if us > 0 => {
+                        // cycles per wall-millisecond is numerically kcycles/s.
+                        let kcps = cycles as f64 * 1e3 / us as f64;
+                        println!(
+                            "  epoch {i}: end_cycle {end} digest {digest:016x} \
+                             wall {:.1} ms ({kcps:.1} kcycles/s)",
+                            us as f64 / 1e3
+                        );
+                    }
+                    _ => println!("  epoch {i}: end_cycle {end} digest {digest:016x}"),
+                }
             }
             if let Some(ledger) = campaign.ledger() {
                 println!("max dVth: {:.4} mV", ledger.max_delta_vth_mv());
@@ -893,7 +1059,7 @@ const HELP: &str = "nbti-noc — sensor-wise NBTI mitigation for NoC buffers (DA
 
 subcommands:
   run     one scenario under one policy    [--cores --vcs --rate --policy --warmup --measure --invariants --csv]
-                                           [--trace-out FILE --metrics-out FILE --sample-period N]
+                                           [--trace-out FILE --metrics-out FILE --sample-period N --profile]
   sweep   gap vs injection rate            [--cores --vcs --warmup --measure --invariants --jobs]
                                            [--store DIR (memoize probes) --json]
   record  record a synthetic trace         --out FILE [--cores --rate --cycles --seed]
@@ -906,6 +1072,8 @@ subcommands:
   area    print the §III-D area overhead report
   serve   HTTP job API for experiments     [--addr 127.0.0.1:7878 --workers N --queue-depth N --timeout-ms N]
                                            [--cache-dir DIR (serve repeat specs from the result store)]
+                                           [--spans-out FILE (flight-recorder span dump, JSONL)]
+  spans   summarize a span JSONL file      FILE [--json] (per-stage latency breakdown tree)
   submit  load-generating client           [--addr --count --concurrency --cores --vcs --rate --policy
                                             --warmup --measure --seed --shutdown]
   campaign run     multi-epoch lifetime campaign   --checkpoint FILE [--epochs 4 --age-acceleration 1e9
@@ -919,7 +1087,9 @@ subcommands:
 
 policies: baseline | rr | sw-nt | sw | sw-kN (e.g. sw-k2)
 invariant levels: off (default) | cheap | full — runtime protocol checks; violations exit nonzero
-telemetry: --trace-out writes a JSONL event trace, --metrics-out a per-port CSV series
+telemetry: --trace-out writes a JSONL event trace, --metrics-out a per-port CSV series;
+           `run --profile` prints per-stage p50/p95/p99 latency (ns) and kcycles/s —
+           results and digests stay bit-identical to an unprofiled run
 serving: `run --json` prints the same result JSON the service returns (digest included);
          `sweep --json` and `stats --json` emit machine-readable summaries in the same codec;
          `submit` cross-checks every served digest against a local run of the same spec
@@ -952,6 +1122,14 @@ fn main() -> ExitCode {
             } else {
                 cmd_cache(action, &args)
             };
+        }
+        // `spans` takes the file as a positional argument.
+        if cmd == "spans" {
+            let Some((file, flags)) = rest.split_first() else {
+                return Err("spans needs a JSONL file (try `nbti-noc spans spans.jsonl`)".into());
+            };
+            let args = Args::parse(flags)?;
+            return cmd_spans(file, &args);
         }
         let args = Args::parse(rest)?;
         match cmd.as_str() {

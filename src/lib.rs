@@ -52,12 +52,14 @@ pub mod prelude {
     // `noc_telemetry::TraceEvent` stays behind the `telemetry` module path:
     // the traffic prelude already exports a `TraceEvent` (packet traces).
     pub use noc_telemetry::{
-        read_jsonl, EventDigest, EventKind, MetricsSeries, TelemetryReport, TelemetrySpec,
-        WorkCounters,
+        read_jsonl, read_spans_jsonl, EventDigest, EventKind, Histogram, MetricsSeries,
+        ProfileReport, Span, SpanKind, StageProfiler, TelemetryReport, TelemetrySpec,
+        WorkCounters, NO_PARENT,
     };
     pub use noc_traffic::prelude::*;
     pub use sensorwise::{
-        default_jobs, parallel_map, run_batch, run_experiment, validate_jobs, ExperimentConfig,
-        ExperimentJob, ExperimentResult, NbtiMonitor, PolicyKind, SyntheticScenario, TrafficSpec,
+        default_jobs, parallel_map, run_batch, run_experiment, run_experiment_profiled,
+        validate_jobs, ExperimentConfig, ExperimentJob, ExperimentResult, NbtiMonitor, PolicyKind,
+        SyntheticScenario, TrafficSpec,
     };
 }

@@ -34,6 +34,7 @@ fn start(workers: usize, queue_depth: usize, job_timeout_ms: u64) -> (Server, Se
         workers,
         queue_depth,
         job_timeout_ms,
+        spans_out: None,
     })
     .expect("ephemeral bind succeeds");
     let client = ServiceClient::new(server.local_addr().to_string());
@@ -340,6 +341,7 @@ fn cache_hits_serve_byte_identical_results_and_corruption_recomputes() {
             workers: 1,
             queue_depth: 4,
             job_timeout_ms: 0,
+            spans_out: None,
         },
         Some(std::sync::Arc::new(store.clone())),
     )
@@ -401,4 +403,189 @@ fn cache_hits_serve_byte_identical_results_and_corruption_recomputes() {
     assert_eq!(report.completed, 4, "cache hits are terminal completions");
     assert!(report.accounts_for_all(), "{report:?}");
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `GET /metrics` serves the Prometheus text exposition: `# HELP` and
+/// `# TYPE` preambles for every series, monotone cumulative histogram
+/// buckets whose `+Inf` sample equals `_count`, and counters that agree
+/// with `/stats` (both render from the same registry).
+#[test]
+fn metrics_exposition_is_prometheus_parsable_and_matches_stats() {
+    let (server, client) = start(2, 8, 0);
+    let addr = server.local_addr().to_string();
+    let specs: Vec<(ExperimentJob, String)> = (0..3).map(|i| spec(2_000, 700 + i)).collect();
+    let ids = parallel_map(&specs, 3, |_, (_, json)| {
+        client.submit_with_retry(json, 50).expect("submits").0
+    });
+    for id in ids {
+        client.wait_result(id, 10, 6_000).expect("completes");
+    }
+
+    let r = noc_service::http::http_request(&addr, "GET", "/metrics", "").expect("transport");
+    assert_eq!(r.status, 200);
+    let body = r.body;
+
+    for name in [
+        "noc_accepting",
+        "noc_queue_len",
+        "noc_queue_capacity",
+        "noc_jobs",
+        "noc_accepted_total",
+        "noc_rejected_busy_total",
+        "noc_cache_hits_total",
+        "noc_cache_misses_total",
+        "noc_worker_busy_us_total",
+        "noc_request_duration_us",
+    ] {
+        assert!(body.contains(&format!("# HELP {name} ")), "no HELP for {name}");
+        assert!(body.contains(&format!("# TYPE {name} ")), "no TYPE for {name}");
+    }
+
+    // Cumulative buckets must be monotone in exposition order, and the
+    // `+Inf` sample must equal `_count`, per endpoint label.
+    let mut per_endpoint: std::collections::BTreeMap<&str, (u64, Option<u64>)> =
+        std::collections::BTreeMap::new();
+    for line in body.lines() {
+        let Some(rest) = line.strip_prefix("noc_request_duration_us_bucket{endpoint=\"")
+        else {
+            continue;
+        };
+        let (endpoint, rest) = rest.split_once("\",le=\"").expect("le label");
+        let (le, value) = rest.split_once("\"} ").expect("sample value");
+        let v: u64 = value.parse().expect("integer sample");
+        let entry = per_endpoint.entry(endpoint).or_insert((0, None));
+        assert!(v >= entry.0, "buckets must be cumulative: {line}");
+        entry.0 = v;
+        if le == "+Inf" {
+            entry.1 = Some(v);
+        }
+    }
+    assert_eq!(per_endpoint.len(), 8, "every endpoint class is exposed");
+    for (endpoint, (_, inf)) in &per_endpoint {
+        let prefix = format!("noc_request_duration_us_count{{endpoint=\"{endpoint}\"}} ");
+        let count: u64 = body
+            .lines()
+            .find_map(|l| l.strip_prefix(&prefix))
+            .expect("histogram has a _count sample")
+            .parse()
+            .expect("integer count");
+        assert_eq!(*inf, Some(count), "+Inf must equal _count for {endpoint}");
+    }
+    let submit_requests = per_endpoint.get("submit").expect("submit class").0;
+    assert!(submit_requests >= 3, "three submissions were observed");
+
+    // The counters agree with `/stats` — same registry, two renderings.
+    let sample = |name: &str| -> u64 {
+        let prefix = format!("{name} ");
+        body.lines()
+            .find_map(|l| l.strip_prefix(&prefix))
+            .unwrap_or_else(|| panic!("missing sample for {name}"))
+            .parse()
+            .expect("integer sample")
+    };
+    let stats = client.stats().expect("stats parse");
+    let stat = |key: &str| stats.get(key).and_then(|v| v.as_u64()).expect(key);
+    assert_eq!(sample("noc_accepted_total"), stat("accepted"));
+    assert_eq!(sample("noc_rejected_busy_total"), stat("rejected_busy"));
+    assert_eq!(sample("noc_cache_hits_total"), stat("cache_hits"));
+    assert_eq!(sample("noc_accepted_total"), 3);
+    assert!(sample("noc_worker_busy_us_total") > 0, "workers ran three jobs");
+    assert!(
+        body.contains("noc_jobs{state=\"done\"} 3"),
+        "job-state gauge must match the three completed jobs:\n{body}"
+    );
+
+    server.request_shutdown(false);
+    let report = server.wait();
+    assert_eq!(report.completed, 3);
+    assert!(report.accounts_for_all(), "{report:?}");
+}
+
+/// Scraping is lock-light reads over atomics: a storm of concurrent
+/// `/metrics` scrapes must never block submissions or polling, and every
+/// scrape stays parsable while counters move underneath it.
+#[test]
+fn concurrent_scrapes_never_block_submission() {
+    let (server, client) = start(2, 8, 0);
+    let addr = server.local_addr().to_string();
+    // Four submit-and-wait tasks interleaved with eight scrape tasks, all
+    // through the deterministic worker pool.
+    let tasks: Vec<Option<String>> = (0..4)
+        .map(|i| Some(spec(3_000, 800 + i).1))
+        .chain((0..8).map(|_| None))
+        .collect();
+    let outcomes = parallel_map(&tasks, 6, |_, task| match task {
+        Some(json) => {
+            let (id, _, _) = client
+                .submit_with_retry(json, 10_000)
+                .expect("submission must not starve behind scrapes");
+            let result = client.wait_result(id, 5, 10_000).expect("completes");
+            result.trace_digest.is_some()
+        }
+        None => {
+            for _ in 0..25 {
+                let r = noc_service::http::http_request(&addr, "GET", "/metrics", "")
+                    .expect("scrape transport");
+                assert_eq!(r.status, 200);
+                assert!(r.body.contains("noc_accepted_total"), "{}", r.body);
+            }
+            true
+        }
+    });
+    assert!(outcomes.into_iter().all(|ok| ok), "every task finished");
+
+    server.request_shutdown(false);
+    let report = server.wait();
+    assert_eq!(report.completed, 4);
+    assert!(report.accounts_for_all(), "{report:?}");
+}
+
+/// A server started with a spans file dumps its flight recorder on
+/// shutdown: request, job and experiment spans whose derived ids link
+/// experiment → job → submit-request without any handle threading.
+#[test]
+fn shutdown_dumps_linked_spans_jsonl() {
+    let path = std::env::temp_dir().join(format!("nbti-svc-spans-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let server = Server::start(&ServiceConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_depth: 4,
+        job_timeout_ms: 0,
+        spans_out: Some(path.display().to_string()),
+    })
+    .expect("ephemeral bind succeeds");
+    let client = ServiceClient::new(server.local_addr().to_string());
+    let (_, json) = spec(2_000, 950);
+    let (id, _, _) = client.submit_with_retry(&json, 10).expect("submits");
+    client.wait_result(id, 10, 6_000).expect("completes");
+    server.request_shutdown(false);
+    server.wait();
+
+    let text = std::fs::read_to_string(&path).expect("spans dumped on shutdown");
+    let spans = read_spans_jsonl(&text).expect("every dumped line parses");
+    let job = spans
+        .iter()
+        .find(|s| s.kind == SpanKind::Job)
+        .expect("job span recorded");
+    let exp = spans
+        .iter()
+        .find(|s| s.kind == SpanKind::Experiment)
+        .expect("experiment span recorded");
+    assert_eq!(exp.parent, job.id, "experiment links to its job");
+    let submit_req = spans
+        .iter()
+        .find(|s| s.kind == SpanKind::Request && s.name == "submit")
+        .expect("submit request span recorded");
+    assert_eq!(
+        job.parent, submit_req.id,
+        "job links to the logical submit-request span"
+    );
+    assert_eq!(
+        job.parent,
+        nbti_noc::telemetry::derive_id(SpanKind::Request, "submit", NO_PARENT),
+        "the link is re-derivable from logical coordinates alone"
+    );
+    assert!(job.dur_us >= exp.dur_us, "job envelops its experiment");
+    let _ = std::fs::remove_file(&path);
 }

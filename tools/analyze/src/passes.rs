@@ -143,6 +143,15 @@ fn everywhere(_path: &str) -> bool {
     true
 }
 
+/// Everywhere except the two sanctioned wall-clock boundaries: the serving
+/// layer's `noc_service::clock`, and the profiling layer's
+/// `noc_telemetry::profclock`. Both funnel every real-time read through one
+/// reviewed file whose contract is that timings are observations of a run,
+/// never inputs to it.
+fn outside_sanctioned_clock_boundaries(path: &str) -> bool {
+    path != "crates/service/src/clock.rs" && path != "crates/telemetry/src/profclock.rs"
+}
+
 /// Everywhere except the two sanctioned thread owners: the deterministic
 /// worker pool in `core::parallel`, and the serving layer.
 fn outside_sanctioned_thread_owners(path: &str) -> bool {
@@ -324,7 +333,7 @@ const TOKEN_RULES: &[TokenRule] = &[
         id: "no-wall-clock",
         message: "wall-clock read breaks reproducibility; derive timing from the \
                   simulated cycle counter",
-        applies: everywhere,
+        applies: outside_sanctioned_clock_boundaries,
     },
     TokenRule {
         id: "no-os-random",

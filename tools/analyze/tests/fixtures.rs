@@ -87,6 +87,26 @@ fn forbidden_tokens_in_strings_comments_and_tests_stay_silent() {
 }
 
 #[test]
+fn sanctioned_clock_boundary_stays_silent() {
+    // `crates/telemetry/src/profclock.rs` holds a raw `Instant::now()`
+    // with no `lint:allow` marker; the path-allowlist alone must keep
+    // `no-wall-clock` quiet, while the violation fixture still trips it.
+    let a = analyze_root(fixture_root(), &Options::default());
+    let noisy: Vec<_> = a
+        .findings
+        .iter()
+        .filter(|f| f.file.ends_with("profclock.rs"))
+        .collect();
+    assert!(noisy.is_empty(), "{noisy:#?}");
+    let wall = a
+        .findings
+        .iter()
+        .find(|f| f.rule == "no-wall-clock")
+        .expect("violation fixture still trips");
+    assert!(wall.file.ends_with("wall_clock_violation.rs"), "{wall:#?}");
+}
+
+#[test]
 fn legacy_ruleset_runs_only_the_five_token_rules() {
     let opts = Options {
         rules: RuleSet::Legacy,
