@@ -31,7 +31,7 @@
 use crate::experiment::{ExperimentConfig, ExperimentResult, SensorModel};
 use crate::parallel::{ExperimentJob, TrafficSpec};
 use crate::policy::PolicyKind;
-use noc_sim::config::NocConfig;
+use noc_sim::config::{NocConfig, TopologyKind};
 use noc_sim::invariants::InvariantLevel;
 use noc_sim::routing::RoutingAlgorithm;
 use noc_telemetry::TelemetrySpec;
@@ -374,6 +374,59 @@ fn routing_from_name(name: &str) -> Result<RoutingAlgorithm, CodecError> {
     }
 }
 
+/// The topology as its JSON fragment: the kind name, plus the edge list
+/// for irregular fabrics.
+fn topology_json(t: &TopologyKind) -> String {
+    match t {
+        TopologyKind::Irregular { edges } => {
+            let pairs: Vec<String> = edges.iter().map(|(a, b)| format!("[{a},{b}]")).collect();
+            format!(
+                "\"topology\":\"irregular\",\"edges\":[{}]",
+                pairs.join(",")
+            )
+        }
+        other => format!("\"topology\":{}", json_string(other.name())),
+    }
+}
+
+fn topology_from_fields(obj: &JsonValue) -> Result<TopologyKind, CodecError> {
+    let name = match obj.get("topology") {
+        None => return Ok(TopologyKind::default()),
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| CodecError::new("`topology` must be a string"))?,
+    };
+    match name {
+        "mesh" => Ok(TopologyKind::Mesh),
+        "torus" => Ok(TopologyKind::Torus),
+        "ring" => Ok(TopologyKind::Ring),
+        "irregular" => {
+            let arr = obj
+                .get("edges")
+                .and_then(JsonValue::as_arr)
+                .ok_or_else(|| CodecError::new("irregular topology requires an `edges` array"))?;
+            let mut edges = Vec::with_capacity(arr.len());
+            for pair in arr {
+                let pair = pair
+                    .as_arr()
+                    .filter(|p| p.len() == 2)
+                    .ok_or_else(|| CodecError::new("`edges` entries must be [a, b] pairs"))?;
+                let a = pair[0]
+                    .as_u64()
+                    .ok_or_else(|| CodecError::new("edge endpoints must be unsigned integers"))?;
+                let b = pair[1]
+                    .as_u64()
+                    .ok_or_else(|| CodecError::new("edge endpoints must be unsigned integers"))?;
+                edges.push((a as usize, b as usize));
+            }
+            Ok(TopologyKind::Irregular { edges })
+        }
+        other => Err(CodecError::new(format!(
+            "unknown topology `{other}` (expected mesh, torus, ring or irregular)"
+        ))),
+    }
+}
+
 fn pattern_name(p: &DestinationPattern) -> Result<&'static str, CodecError> {
     match p {
         DestinationPattern::UniformRandom => Ok("uniform"),
@@ -438,7 +491,7 @@ pub fn spec_to_json(job: &ExperimentJob) -> Result<String, CodecError> {
         concat!(
             "{{\"noc\":{{\"cols\":{},\"rows\":{},\"vcs\":{},\"buffer_depth\":{},",
             "\"flits_per_packet\":{},\"link_latency\":{},\"credit_latency\":{},",
-            "\"wakeup_latency\":{},\"routing\":{}}},",
+            "\"wakeup_latency\":{},\"routing\":{},{}}},",
             "\"policy\":{},\"warmup\":{},\"measure\":{},\"pv_seed\":{},",
             "\"rr_rotation_period\":{},\"md_refresh_period\":{},\"invariants\":{},",
             "\"telemetry\":{{\"trace\":{},\"sample_period\":{}}},",
@@ -453,6 +506,7 @@ pub fn spec_to_json(job: &ExperimentJob) -> Result<String, CodecError> {
         noc.credit_latency,
         noc.wakeup_latency,
         json_string(routing_name(noc.routing)),
+        topology_json(&noc.topology),
         json_string(&cfg.policy.label()),
         cfg.warmup_cycles,
         cfg.measure_cycles,
@@ -519,6 +573,7 @@ pub fn spec_from_json(text: &str) -> Result<ExperimentJob, CodecError> {
                         .ok_or_else(|| CodecError::new("`routing` must be a string"))?,
                 )?,
             },
+            topology: topology_from_fields(n)?,
         },
     };
     noc.validate()

@@ -304,7 +304,7 @@ fn encode_with<T: TraceSink>(net: &Network<T>, relabel: &Relabel) -> Vec<u8> {
         now: net.cycle(),
         relabel,
     };
-    let nodes = net.mesh().num_nodes();
+    let nodes = net.topology().num_nodes();
     for new_n in 0..nodes {
         let old_n = relabel.node_inv[new_n];
         let router = &net.routers[old_n];
@@ -364,7 +364,7 @@ fn encode_with<T: TraceSink>(net: &Network<T>, relabel: &Relabel) -> Vec<u8> {
 /// Panics when called mid-cycle (between [`Network::begin_cycle`] and
 /// [`Network::finish_cycle`]).
 pub fn encode<T: TraceSink>(net: &Network<T>) -> Vec<u8> {
-    encode_with(net, &Relabel::identity(net.mesh().num_nodes(), net.config().vcs_per_port))
+    encode_with(net, &Relabel::identity(net.topology().num_nodes(), net.config().vcs_per_port))
 }
 
 /// The canonical encoding under the symmetry group (see the module docs

@@ -64,7 +64,8 @@ pub use network::Network;
 pub use routing::RoutingAlgorithm;
 pub use snapshot::{NetworkSnapshot, PortState, SnapshotStateError};
 pub use stats::NetStats;
-pub use topology::Mesh2D;
+pub use config::TopologyKind;
+pub use topology::{AnyTopology, Mesh2D, Topology};
 pub use types::{Direction, NodeId};
 pub use view::{GateAction, PortId, PortKind, PortView, VcStatus};
 
@@ -76,7 +77,8 @@ pub mod prelude {
     pub use crate::network::Network;
     pub use crate::routing::RoutingAlgorithm;
     pub use crate::stats::NetStats;
-    pub use crate::topology::Mesh2D;
+    pub use crate::config::TopologyKind;
+    pub use crate::topology::{AnyTopology, Mesh2D, Topology};
     pub use crate::types::{Direction, NodeId};
     pub use crate::view::{GateAction, PortId, PortKind, PortView, VcStatus};
 }

@@ -25,7 +25,7 @@ use crate::nic::{EjectedPacket, Nic, PendingPacket};
 use crate::router::{Router, SaWinner, NUM_PORTS};
 use crate::snapshot::{NetworkSnapshot, PortState, SnapshotStateError};
 use crate::stats::NetStats;
-use crate::topology::Mesh2D;
+use crate::topology::AnyTopology;
 use crate::types::{Direction, NodeId};
 use crate::unit::{Credit, InVcState, InputUnit, OutVcState};
 use crate::view::{GateAction, PortId, PortKind, PortView, VcStatus};
@@ -72,7 +72,7 @@ enum Downstream {
 #[derive(Debug, Clone)]
 pub struct Network<T: TraceSink = NullSink> {
     cfg: NocConfig,
-    mesh: Mesh2D,
+    topo: AnyTopology,
     pub(crate) routers: Vec<Router>,
     pub(crate) nics: Vec<Nic>,
     cycle: u64,
@@ -121,25 +121,27 @@ impl<T: TraceSink> Network<T> {
     /// Returns the configuration's validation error, if any.
     pub fn with_sink(cfg: NocConfig, sink: T) -> Result<Self, InvalidConfigError> {
         cfg.validate()?;
-        let mesh = Mesh2D::new(cfg.cols, cfg.rows);
-        let routers: Vec<Router> = mesh
-            .nodes()
+        let topo = cfg.build_topology()?;
+        let routers: Vec<Router> = topo
+            .node_ids()
+            .map(NodeId)
             .map(|node| {
                 let mut connected = [true; NUM_PORTS];
                 for d in Direction::MESH {
-                    connected[d.index()] = mesh.neighbor(node, d).is_some();
+                    connected[d.index()] = topo.link_peer(node, d).is_some();
                 }
                 Router::new(cfg.vcs_per_port, cfg.buffer_depth, connected)
             })
             .collect();
-        let nics: Vec<Nic> = mesh
-            .nodes()
+        let nics: Vec<Nic> = topo
+            .node_ids()
+            .map(NodeId)
             .map(|node| Nic::new(node, cfg.vcs_per_port, cfg.buffer_depth))
             .collect();
         let mut port_ids = Vec::new();
-        for node in mesh.nodes() {
+        for node in topo.node_ids().map(NodeId) {
             for d in Direction::MESH {
-                if mesh.neighbor(node, d).is_some() {
+                if topo.link_peer(node, d).is_some() {
                     port_ids.push(PortId::router_input(node, d));
                 }
             }
@@ -148,7 +150,7 @@ impl<T: TraceSink> Network<T> {
         }
         Ok(Network {
             cfg,
-            mesh,
+            topo,
             routers,
             nics,
             cycle: 0,
@@ -184,9 +186,9 @@ impl<T: TraceSink> Network<T> {
         self.work
     }
 
-    /// The mesh topology.
-    pub fn mesh(&self) -> &Mesh2D {
-        &self.mesh
+    /// The fabric topology the network was built on.
+    pub fn topology(&self) -> &AnyTopology {
+        &self.topo
     }
 
     /// The current cycle number.
@@ -259,14 +261,14 @@ impl<T: TraceSink> Network<T> {
                 },
             ),
             PortKind::RouterInput(d) => {
-                let up = self
-                    .mesh
-                    .neighbor(port.node, d)
+                let (up, up_port) = self
+                    .topo
+                    .link_peer(port.node, d)
                     .unwrap_or_else(|| panic!("port {port} has no upstream link"));
                 (
                     Upstream::RouterOut {
                         node: up.index(),
-                        port: d.opposite().index(),
+                        port: up_port.index(),
                     },
                     Downstream::RouterIn {
                         node,
@@ -599,14 +601,11 @@ impl<T: TraceSink> Network<T> {
         }
     }
 
-    /// The RC stage for one head flit: the configured algorithm's routing
-    /// decision, with credit-based adaptive selection when the algorithm
-    /// permits several productive directions (West-First).
+    /// The RC stage for one head flit: the topology's routing decision,
+    /// with credit-based adaptive selection when the fabric permits
+    /// several productive directions (West-First on the mesh).
     fn compute_route(&self, r_idx: usize, dst: NodeId) -> Direction {
-        let dirs = self
-            .cfg
-            .routing
-            .allowed(&self.mesh, NodeId(r_idx), dst);
+        let dirs = self.topo.route_dirs(NodeId(r_idx), dst);
         match dirs.as_slice() {
             [] => Direction::Local,
             [only] => *only,
@@ -785,12 +784,12 @@ impl<T: TraceSink> Network<T> {
                     .push_back((credit_when, credit));
             }
             d => {
-                let up = self
-                    .mesh
-                    .neighbor(NodeId(r_idx), d)
-                    // lint:allow(no-unwrap) flits only arrive through ports with a neighbour
+                let (up, up_port) = self
+                    .topo
+                    .link_peer(NodeId(r_idx), d)
+                    // lint:allow(no-unwrap) flits only arrive through ports with a link
                     .expect("traffic only arrives through connected ports");
-                self.routers[up.index()].outputs[d.opposite().index()]
+                self.routers[up.index()].outputs[up_port.index()]
                     .credit_arrivals
                     .push_back((credit_when, credit));
             }
@@ -804,12 +803,12 @@ impl<T: TraceSink> Network<T> {
                 self.nics[r_idx].eject.arrivals.push_back((arrive, flit));
             }
             d => {
-                let down = self
-                    .mesh
-                    .neighbor(NodeId(r_idx), d)
-                    // lint:allow(no-unwrap) dimension-ordered routing stays inside the mesh
-                    .expect("routing never leaves the mesh");
-                self.routers[down.index()].inputs[d.opposite().index()]
+                let (down, down_port) = self
+                    .topo
+                    .link_peer(NodeId(r_idx), d)
+                    // lint:allow(no-unwrap) route_dirs only offers ports with a link
+                    .expect("routing never leaves the fabric");
+                self.routers[down.index()].inputs[down_port.index()]
                     .arrivals
                     .push_back((arrive, flit));
             }

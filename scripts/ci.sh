@@ -27,15 +27,17 @@ cargo run -q --offline -p noc-analyze -- --json > /dev/null || {
     exit 1
 }
 
-# The fixture tree must trip every rule exactly once (the analyzer's own
-# tests assert the exact multiplicities; here we gate the shipped binary).
+# The fixture tree must trip every rule with its known multiplicity —
+# one finding per fixture file, with alloc-in-hot-path covered in both
+# the simulator and workload scopes (the analyzer's own tests assert the
+# exact per-rule counts; here we gate the shipped binary).
 if cargo run -q --offline -p noc-analyze -- --root tools/analyze/fixtures > /dev/null 2>&1; then
     echo "ci: analyzer fixtures unexpectedly clean" >&2
     exit 1
 fi
 fixture_json=$(cargo run -q --offline -p noc-analyze -- --json --root tools/analyze/fixtures || true)
-echo "$fixture_json" | grep -q '"count": 9' || {
-    echo "ci: analyzer fixtures must produce exactly 9 findings" >&2
+echo "$fixture_json" | grep -q '"count": 10' || {
+    echo "ci: analyzer fixtures must produce exactly 10 findings" >&2
     exit 1
 }
 for rule in no-unordered-map no-wall-clock no-os-random no-thread-spawn no-unwrap \
@@ -101,7 +103,7 @@ verifydir=""
 # Telemetry smoke: a traced run must produce a parseable event trace and a
 # non-empty metrics series, and `stats` must re-derive a digest from it.
 teldir=$(mktemp -d)
-trap 'rm -rf "$teldir" "${verifydir:-}" "${servedir:-}" "${campdir:-}"; [ -n "${serve_pid:-}" ] && kill "$serve_pid" 2>/dev/null || true; [ -n "${camp_pid:-}" ] && kill "$camp_pid" 2>/dev/null || true' EXIT
+trap 'rm -rf "$teldir" "${verifydir:-}" "${servedir:-}" "${campdir:-}" "${wldir:-}"; [ -n "${serve_pid:-}" ] && kill "$serve_pid" 2>/dev/null || true; [ -n "${camp_pid:-}" ] && kill "$camp_pid" 2>/dev/null || true' EXIT
 ./target/release/nbti-noc run --cores 4 --vcs 2 --rate 0.1 --policy sw \
     --warmup 200 --measure 2000 \
     --trace-out "$teldir/events.jsonl" --metrics-out "$teldir/metrics.csv" \
@@ -130,6 +132,38 @@ grep -q "kcycles/s" "$teldir/profile.log" || {
     echo "ci: run --profile reported no throughput summary" >&2
     exit 1
 }
+
+# Workload smoke: generate a deterministic mix trace, verify every chunk
+# checksum, then require the live-mix run and the trace replay to agree
+# bit for bit on the telemetry digest — on the mesh and on a torus.
+wldir=$(mktemp -d)
+./target/release/nbti-noc trace gen --out "$wldir/mix.nbtitrc" \
+    --mix hotspot-server --nodes 16 --cycles 3000 --rate 0.15 --seed 7 > /dev/null
+./target/release/nbti-noc trace verify --trace "$wldir/mix.nbtitrc" > /dev/null || {
+    echo "ci: trace verify rejected a freshly generated trace" >&2
+    exit 1
+}
+for topo in mesh torus; do
+    live=$(./target/release/nbti-noc run --cores 16 --topology "$topo" \
+        --mix hotspot-server --rate 0.15 --seed 7 --warmup 0 --measure 3000 \
+        --invariants full --digest 2>/dev/null | sed -n 's/^digest: //p')
+    replay=$(./target/release/nbti-noc run --cores 16 --topology "$topo" \
+        --trace-in "$wldir/mix.nbtitrc" --warmup 0 --measure 3000 \
+        --invariants full --digest 2>/dev/null | sed -n 's/^digest: //p')
+    [ -n "$live" ] && [ "$live" = "$replay" ] || {
+        echo "ci: $topo trace replay digest '$replay' != live mix '$live'" >&2
+        exit 1
+    }
+done
+# A corrupted trace must be rejected with the typed checksum error.
+cp "$wldir/mix.nbtitrc" "$wldir/bad.nbtitrc"
+printf '\377' | dd of="$wldir/bad.nbtitrc" bs=1 seek=64 conv=notrunc 2>/dev/null
+if ./target/release/nbti-noc trace verify --trace "$wldir/bad.nbtitrc" > /dev/null 2>&1; then
+    echo "ci: corrupted trace passed verification" >&2
+    exit 1
+fi
+rm -rf "$wldir"
+wldir=""
 
 # Service smoke: serve on an ephemeral port, drive it with the submitting
 # client (which cross-checks every served digest against a local run),
@@ -250,6 +284,16 @@ cargo run -q --release --offline -p nbti-noc-bench --bin sim_throughput -- \
     --measure 3000 --warmup 300 > /dev/null
 grep -q '"kcycles_per_sec":' BENCH_sim.json || {
     echo "ci: sim_throughput did not append a kcycles/s entry" >&2
+    exit 1
+}
+cargo run -q --release --offline -p nbti-noc-bench --bin workload_throughput -- \
+    --cycles 3000 > /dev/null
+grep -q '"trace_records_per_sec":' BENCH_workload.json || {
+    echo "ci: workload_throughput did not append a trace-records/s entry" >&2
+    exit 1
+}
+grep -q '"topo_kcycles_per_sec":{"mesh":' BENCH_workload.json || {
+    echo "ci: workload_throughput did not append per-topology kcycles/s" >&2
     exit 1
 }
 

@@ -2,12 +2,17 @@
 //!
 //! ```text
 //! nbti-noc run    [--cores N] [--vcs V] [--rate R] [--policy P] [--warmup N] [--measure N] [--csv]
+//!                 [--topology mesh|torus|ring|irregular] [--edges "a-b,c-d"]
+//!                 [--mix KIND | --trace-in FILE] [--len L] [--seed N] [--digest]
 //!                 [--trace-out FILE] [--metrics-out FILE] [--sample-period N] [--profile]
 //! nbti-noc sweep  [--cores N] [--vcs V] [--warmup N] [--measure N]
 //! nbti-noc record --out FILE [--cores N] [--rate R] [--cycles N] [--seed N]
 //! nbti-noc replay --trace FILE [--cores N] [--vcs V] [--policy P]
 //!                 [--trace-out FILE] [--metrics-out FILE] [--sample-period N]
 //! nbti-noc stats  --trace FILE
+//! nbti-noc trace gen    --out FILE --mix KIND [--nodes N] [--cycles N] [--rate R] [--len L] [--seed N]
+//! nbti-noc trace info   --trace FILE [--json]
+//! nbti-noc trace verify --trace FILE
 //! nbti-noc verify [--policy P] [--depth N] [--symmetry] [--counterexample-out FILE]
 //!                 [--inject-fault gate-occupied|double-credit|drop-flit]
 //! nbti-noc area
@@ -32,6 +37,7 @@
 
 use nbti_noc::prelude::*;
 use nbti_noc::telemetry::profclock;
+use nbti_noc::workload;
 use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write as _};
@@ -94,6 +100,34 @@ fn parse_invariants(args: &Args) -> Result<InvariantLevel, String> {
     args.get("invariants", InvariantLevel::Off)
 }
 
+/// Parses `--topology mesh|torus|ring|irregular` (default: mesh).
+/// Irregular fabrics take their adjacency from `--edges "a-b,c-d,..."`.
+fn parse_topology(args: &Args) -> Result<TopologyKind, String> {
+    match args.get("topology", "mesh".to_string())?.as_str() {
+        "mesh" => Ok(TopologyKind::Mesh),
+        "torus" => Ok(TopologyKind::Torus),
+        "ring" => Ok(TopologyKind::Ring),
+        "irregular" => {
+            let spec = args
+                .required("edges")
+                .map_err(|_| "topology `irregular` needs --edges \"a-b,c-d,...\"".to_string())?;
+            let mut edges = Vec::new();
+            for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+                let (a, b) = part
+                    .split_once('-')
+                    .ok_or_else(|| format!("bad edge `{part}` (expected `a-b`)"))?;
+                let a = a.trim().parse::<usize>().map_err(|e| format!("bad edge `{part}`: {e}"))?;
+                let b = b.trim().parse::<usize>().map_err(|e| format!("bad edge `{part}`: {e}"))?;
+                edges.push((a, b));
+            }
+            Ok(TopologyKind::Irregular { edges })
+        }
+        other => Err(format!(
+            "unknown topology `{other}` (mesh | torus | ring | irregular)"
+        )),
+    }
+}
+
 /// Prints any recorded invariant violations; errors out when there were
 /// any, so the process exits nonzero.
 fn report_invariants(result: &sensorwise::ExperimentResult) -> Result<(), String> {
@@ -124,7 +158,10 @@ fn latency_summary(net: &NetStats) -> Option<(u64, u64, u64, u64)> {
     ))
 }
 
-fn print_port_table(result: &sensorwise::ExperimentResult, csv: bool) {
+/// Prints the per-port duty/flit table. Port labels come from the
+/// topology (`r3-ccw` on a ring, `r3-l1` on an irregular fabric) rather
+/// than the mesh's hardcoded compass letters.
+fn print_port_table(result: &sensorwise::ExperimentResult, topo: &AnyTopology, csv: bool) {
     if csv {
         let vcs = result.ports.first().map_or(0, |p| p.duty_percent.len());
         print!("port,md_vc");
@@ -133,7 +170,7 @@ fn print_port_table(result: &sensorwise::ExperimentResult, csv: bool) {
         }
         println!(",flits");
         for p in &result.ports {
-            print!("{},{}", p.port, p.md_vc);
+            print!("{},{}", topo.port_label(p.port), p.md_vc);
             for d in &p.duty_percent {
                 print!(",{d:.3}");
             }
@@ -152,7 +189,7 @@ fn print_port_table(result: &sensorwise::ExperimentResult, csv: bool) {
         let duties: Vec<String> = p.duty_percent.iter().map(|d| format!("{d:5.1}%")).collect();
         println!(
             "{:<12} {:>4} {:>10}  [{}]",
-            p.port.to_string(),
+            topo.port_label(p.port),
             format!("VC{}", p.md_vc),
             p.flits_received,
             duties.join(" ")
@@ -241,6 +278,13 @@ fn run_profiled(job: &ExperimentJob, cycles: u64, json: bool) -> sensorwise::Exp
     let t0 = profclock::now();
     let (result, prof) = job.run_profiled();
     let wall_ms = profclock::ms_since_f64(t0).max(1e-3);
+    report_profile(&prof, cycles, wall_ms, json);
+    result
+}
+
+/// Prints the per-stage latency table plus simulated-throughput summary.
+/// With `--json` the table goes to stderr so stdout stays pure result JSON.
+fn report_profile(prof: &StageProfiler, cycles: u64, wall_ms: f64, json: bool) {
     let report = prof.report();
     // cycles/ms is numerically kcycles/s.
     let kcps = cycles as f64 / wall_ms;
@@ -252,7 +296,51 @@ fn run_profiled(job: &ExperimentJob, cycles: u64, json: bool) -> sensorwise::Exp
         print!("{report}");
         println!("{summary}\n");
     }
-    result
+}
+
+/// Builds the optional workload source requested by `--trace-in` (replay
+/// an `NBTITRC` file) or `--mix` (drive a generator live). The trace's
+/// node count must match the fabric's so recorded node indices stay valid.
+fn parse_workload_source(
+    args: &Args,
+    noc: &NocConfig,
+) -> Result<Option<Box<dyn TrafficSource>>, String> {
+    let trace_in = args.flags.get("trace-in");
+    let mix = args.flags.get("mix");
+    match (trace_in, mix) {
+        (Some(_), Some(_)) => Err("--trace-in and --mix are mutually exclusive".into()),
+        (Some(path), None) => {
+            let reader = workload::TraceReader::open(std::path::Path::new(path))
+                .map_err(|e| format!("{path}: {e}"))?;
+            let header = reader.header();
+            if usize::from(header.num_nodes) != noc.num_nodes() {
+                return Err(format!(
+                    "{path} was recorded for {} nodes, but this fabric has {}",
+                    header.num_nodes,
+                    noc.num_nodes()
+                ));
+            }
+            let records = reader.read_all().map_err(|e| format!("{path}: {e}"))?;
+            let label = std::path::Path::new(path)
+                .file_name()
+                .map_or_else(|| path.clone(), |n| n.to_string_lossy().into_owned());
+            Ok(Some(Box::new(workload::TraceSource::from_records(
+                records,
+                format!("trace:{label}"),
+            ))))
+        }
+        (None, Some(kind)) => {
+            let spec = workload::MixSpec {
+                kind: workload::MixKind::parse(kind)?,
+                nodes: noc.num_nodes() as u16,
+                rate: args.get("rate", 0.2f64)?,
+                packet_len: args.get("len", 5u16)?,
+                seed: args.get("seed", 1u64)?,
+            };
+            Ok(Some(Box::new(workload::MixSource::new(spec))))
+        }
+        (None, None) => Ok(None),
+    }
 }
 
 fn cmd_run(args: &Args) -> Result<(), String> {
@@ -265,33 +353,66 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let warmup = args.get("warmup", 5_000u64)?;
     let measure = args.get("measure", 50_000u64)?;
     let invariants = parse_invariants(args)?;
-    eprintln!(
-        "running {} under {} ({} + {} cycles, invariants {invariants})...",
-        scenario.name(),
-        policy,
-        warmup,
-        measure
-    );
     let mut telemetry = parse_telemetry(args)?;
     let json = args.has("json");
-    if json {
-        // JSON output always carries the determinism witness.
+    let want_digest = args.has("digest");
+    if json || want_digest {
+        // JSON output (and --digest) always carries the determinism witness.
         telemetry.spec.trace = true;
     }
     let mut job = scenario.job(policy, warmup, measure);
+    job.cfg.noc.topology = parse_topology(args)?;
     job.cfg = job
         .cfg
         .with_invariants(invariants)
         .with_telemetry(telemetry.spec);
-    let result = if args.has("profile") {
-        run_profiled(&job, warmup + measure, json)
-    } else {
-        job.run()
+    let topo = job.cfg.noc.build_topology().map_err(|e| e.to_string())?;
+    let mut source = parse_workload_source(args, &job.cfg.noc)?;
+    if source.is_some() {
+        // Workload runs tie process variation to the architecture alone:
+        // an NBTITRC file carries no injection-rate field, so a replayed
+        // trace must reproduce the live-mix digest whatever --rate was.
+        job.cfg = job.cfg.with_pv_seed(
+            SyntheticScenario {
+                injection_rate: 0.0,
+                ..scenario
+            }
+            .seed(),
+        );
+    }
+    eprintln!(
+        "running {} on {} under {} ({} + {} cycles, invariants {invariants})...",
+        source.as_ref().map_or_else(|| scenario.name(), |s| s.name()),
+        topo.kind_name(),
+        policy,
+        warmup,
+        measure
+    );
+    let result = match source.as_mut() {
+        Some(src) => {
+            if args.has("profile") {
+                let t0 = profclock::now();
+                let (result, prof) = run_experiment_profiled(&job.cfg, src.as_mut());
+                let wall_ms = profclock::ms_since_f64(t0).max(1e-3);
+                report_profile(&prof, warmup + measure, wall_ms, json);
+                result
+            } else {
+                run_experiment(&job.cfg, src.as_mut())
+            }
+        }
+        None if args.has("profile") => run_profiled(&job, warmup + measure, json),
+        None => job.run(),
     };
     if json {
         println!("{}", sensorwise::result_to_json(&result));
     } else {
-        print_port_table(&result, args.has("csv"));
+        print_port_table(&result, &topo, args.has("csv"));
+    }
+    if want_digest {
+        match result.trace_digest() {
+            Some(d) => println!("digest: {d:016x}"),
+            None => return Err("--digest requested but no trace was harvested".into()),
+        }
     }
     write_telemetry(&result, &telemetry)?;
     report_invariants(&result)
@@ -601,12 +722,15 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
     );
     let telemetry = parse_telemetry(args)?;
     let mut replay = TraceReplay::new(trace);
-    let cfg = ExperimentConfig::new(NocConfig::paper_synthetic(cores, vcs), policy)
+    let mut noc = NocConfig::paper_synthetic(cores, vcs);
+    noc.topology = parse_topology(args)?;
+    let topo = noc.build_topology().map_err(|e| e.to_string())?;
+    let cfg = ExperimentConfig::new(noc, policy)
         .with_cycles(0, horizon + 2_000)
         .with_invariants(parse_invariants(args)?)
         .with_telemetry(telemetry.spec);
     let result = run_experiment(&cfg, &mut replay);
-    print_port_table(&result, args.has("csv"));
+    print_port_table(&result, &topo, args.has("csv"));
     write_telemetry(&result, &telemetry)?;
     report_invariants(&result)
 }
@@ -1024,6 +1148,71 @@ fn cmd_campaign(action: &str, args: &Args) -> Result<(), String> {
     }
 }
 
+/// `trace gen | info | verify` — the `NBTITRC` binary-trace toolbox.
+///
+/// `gen` materializes a deterministic application mix, `info` summarizes
+/// a trace file, `verify` streams it end to end checking every chunk
+/// checksum (corruption exits nonzero with the typed reason).
+fn cmd_trace(action: &str, args: &Args) -> Result<(), String> {
+    match action {
+        "gen" => {
+            let out = args.required("out")?.to_string();
+            let kind = workload::MixKind::parse(args.required("mix")?)?;
+            let spec = workload::MixSpec {
+                kind,
+                nodes: args.get("nodes", 16u16)?,
+                rate: args.get("rate", 0.2f64)?,
+                packet_len: args.get("len", 5u16)?,
+                seed: args.get("seed", 1u64)?,
+            };
+            let cycles = args.get("cycles", 10_000u64)?;
+            let writer = workload::MixGenerator::new(spec)
+                .write_trace(cycles)
+                .map_err(|e| e.to_string())?;
+            let records = writer.len();
+            writer
+                .save(std::path::Path::new(&out))
+                .map_err(|e| format!("cannot write {out}: {e}"))?;
+            println!(
+                "wrote {records} records ({} nodes, {cycles} cycles, mix {}) to {out}",
+                spec.nodes,
+                kind.name()
+            );
+            Ok(())
+        }
+        "info" | "verify" => {
+            let path = args.required("trace")?.to_string();
+            let summary = workload::verify_file(std::path::Path::new(&path))
+                .map_err(|e| format!("{path}: {e}"))?;
+            if action == "verify" {
+                println!(
+                    "{path}: OK ({} records in {} chunks, every checksum valid)",
+                    summary.records, summary.chunks
+                );
+            } else if args.has("json") {
+                println!(
+                    "{{\"nodes\":{},\"records\":{},\"chunks\":{},\"first_cycle\":{},\
+                     \"last_cycle\":{},\"flits\":{}}}",
+                    summary.header.num_nodes,
+                    summary.records,
+                    summary.chunks,
+                    summary.first_cycle,
+                    summary.last_cycle,
+                    summary.flits
+                );
+            } else {
+                println!("{path}: NBTITRC v{}", workload::FORMAT_VERSION);
+                println!("  nodes   {}", summary.header.num_nodes);
+                println!("  records {} (in {} chunks)", summary.records, summary.chunks);
+                println!("  cycles  {}..={}", summary.first_cycle, summary.last_cycle);
+                println!("  flits   {}", summary.flits);
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown trace action `{other}` (gen | info | verify)")),
+    }
+}
+
 fn cmd_cache(action: &str, args: &Args) -> Result<(), String> {
     let store =
         noc_campaign::FsResultStore::open(args.required("dir")?).map_err(|e| e.to_string())?;
@@ -1059,13 +1248,20 @@ const HELP: &str = "nbti-noc — sensor-wise NBTI mitigation for NoC buffers (DA
 
 subcommands:
   run     one scenario under one policy    [--cores --vcs --rate --policy --warmup --measure --invariants --csv]
-                                           [--trace-out FILE --metrics-out FILE --sample-period N --profile]
+                                           [--topology mesh|torus|ring|irregular --edges \"a-b,c-d\" (irregular)]
+                                           [--mix KIND | --trace-in FILE (NBTITRC workload) --len L --seed N]
+                                           [--digest (print the telemetry digest) --profile]
+                                           [--trace-out FILE --metrics-out FILE --sample-period N]
   sweep   gap vs injection rate            [--cores --vcs --warmup --measure --invariants --jobs]
                                            [--store DIR (memoize probes) --json]
   record  record a synthetic trace         --out FILE [--cores --rate --cycles --seed]
   replay  replay a trace under a policy    --trace FILE [--cores --vcs --policy --invariants --csv]
                                            [--trace-out FILE --metrics-out FILE --sample-period N]
   stats   summarize a telemetry trace      --trace FILE [--json] (event counts, churn, latency, digest)
+  trace gen     generate an NBTITRC mix trace    --out FILE --mix KIND [--nodes 16 --cycles 10000
+                                                  --rate 0.2 --len 5 --seed 1]
+  trace info    summarize an NBTITRC trace       --trace FILE [--json]
+  trace verify  stream-check every checksum      --trace FILE (corruption exits nonzero, typed)
   verify  exhaustively model-check the     [--policy P (default: every policy) --depth N --symmetry]
           gating protocol on a 2x2 mesh    [--counterexample-out FILE
                                             --inject-fault gate-occupied|double-credit|drop-flit]
@@ -1086,6 +1282,10 @@ subcommands:
   help    this text
 
 policies: baseline | rr | sw-nt | sw | sw-kN (e.g. sw-k2)
+topologies: mesh (default, the paper's fabric) | torus | ring | irregular --edges \"a-b,c-d\"
+mixes: hotspot-server | all-to-all-shuffle | nearest-neighbor-stencil | bursty-client;
+       `run --mix K` drives the generator live, `trace gen` + `run --trace-in F` replays the
+       same schedule from disk — both yield bit-identical telemetry digests
 invariant levels: off (default) | cheap | full — runtime protocol checks; violations exit nonzero
 telemetry: --trace-out writes a JSONL event trace, --metrics-out a per-port CSV series;
            `run --profile` prints per-stage p50/p95/p99 latency (ns) and kcycles/s —
@@ -1104,23 +1304,24 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     };
     let run = || -> Result<(), String> {
-        // `campaign` and `cache` take an action word before the flags.
-        if cmd == "campaign" || cmd == "cache" {
+        // `campaign`, `cache` and `trace` take an action word before the
+        // flags.
+        if cmd == "campaign" || cmd == "cache" || cmd == "trace" {
             let Some((action, flags)) = rest.split_first() else {
                 return Err(format!(
                     "{cmd} needs an action: {}",
-                    if cmd == "campaign" {
-                        "run | resume | status"
-                    } else {
-                        "stats | gc"
+                    match cmd.as_str() {
+                        "campaign" => "run | resume | status",
+                        "cache" => "stats | gc",
+                        _ => "gen | info | verify",
                     }
                 ));
             };
             let args = Args::parse(flags)?;
-            return if cmd == "campaign" {
-                cmd_campaign(action, &args)
-            } else {
-                cmd_cache(action, &args)
+            return match cmd.as_str() {
+                "campaign" => cmd_campaign(action, &args),
+                "cache" => cmd_cache(action, &args),
+                _ => cmd_trace(action, &args),
             };
         }
         // `spans` takes the file as a positional argument.

@@ -14,6 +14,9 @@
 //!   reaction–diffusion ΔVth model, process variation and sensor models,
 //! * [`traffic`] ([`noc_traffic`]) — synthetic patterns and benchmark-profile
 //!   application traffic,
+//! * [`workload`] ([`noc_workload`]) — the `NBTITRC` binary trace format,
+//!   deterministic application-mix generators and the trace/mix injection
+//!   adapters,
 //! * [`policy`] ([`sensorwise`]) — the paper's mitigation policies
 //!   (`baseline`, `rr-no-sensor`, `sensor-wise-no-traffic`, `sensor-wise`),
 //!   the cooperative control links, and the experiment runner,
@@ -40,6 +43,7 @@ pub use noc_service as service;
 pub use noc_sim as sim;
 pub use noc_telemetry as telemetry;
 pub use noc_traffic as traffic;
+pub use noc_workload as workload;
 pub use sensorwise as policy;
 
 /// One-stop imports for applications and examples.

@@ -1,0 +1,19 @@
+//! Analyzer fixture: the workload injection surface allocating one call
+//! deep below its per-cycle entry point.
+//!
+//! Must trip `alloc-in-hot-path` exactly once, seeded by the
+//! `next_records` hot entry the trace/mix adapters expose.
+
+pub struct Generator {
+    emitted: Vec<u64>,
+}
+
+impl Generator {
+    pub fn next_records(&mut self, cycle: u64) {
+        self.emit_for(cycle);
+    }
+
+    fn emit_for(&mut self, cycle: u64) {
+        self.emitted.push(cycle);
+    }
+}

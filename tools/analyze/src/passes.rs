@@ -133,6 +133,7 @@ fn in_sim_or_sweep_code(path: &str) -> bool {
         "crates/service/",
         "crates/campaign/",
         "crates/modelcheck/",
+        "crates/workload/",
         "src/",
     ]
     .iter()
@@ -164,6 +165,7 @@ fn in_hot_paths(path: &str) -> bool {
         || path.starts_with("crates/service/src/")
         || path.starts_with("crates/campaign/src/")
         || path.starts_with("crates/modelcheck/src/")
+        || path.starts_with("crates/workload/src/")
 }
 
 /// Hot-path entry points: functions with these names seed the
@@ -187,6 +189,8 @@ pub const HOT_ENTRY_POINTS: &[&str] = &[
     "decide",
     "record_cycle",
     "most_degraded",
+    // The per-cycle injection surface of the workload adapters.
+    "next_records",
 ];
 
 // ---------------------------------------------------------------------------
@@ -463,7 +467,8 @@ fn evidence_path(
 }
 
 /// `alloc-in-hot-path`: allocation vocabulary inside functions reachable
-/// from the per-cycle entry points, reported for `crates/noc-sim/`.
+/// from the per-cycle entry points, reported for `crates/noc-sim/` and
+/// `crates/workload/` (the per-cycle injection adapters).
 fn alloc_pass(
     ws: &Workspace,
     fns: &[FnInfo],
@@ -472,7 +477,9 @@ fn alloc_pass(
 ) -> Vec<Finding> {
     let mut out = Vec::new();
     for f in fns {
-        if !reach.contains_key(&f.id) || !f.file.starts_with("crates/noc-sim/") {
+        if !reach.contains_key(&f.id)
+            || !(f.file.starts_with("crates/noc-sim/") || f.file.starts_with("crates/workload/"))
+        {
             continue;
         }
         let unit = &ws.files[f.id.0];

@@ -2,9 +2,10 @@
 //!
 //! The fixture tree under `tools/analyze/fixtures/` is built so that
 //! every rule — the five migrated token rules and the four
-//! interprocedural passes — trips exactly once, and so that forbidden
-//! tokens inside string literals, comments, and test-only code stay
-//! silent.
+//! interprocedural passes — trips a known number of times (once per
+//! fixture file: `alloc-in-hot-path` has one fixture in the simulator
+//! scope and one in the workload scope), and so that forbidden tokens
+//! inside string literals, comments, and test-only code stay silent.
 
 use noc_analyze::{analyze_root, Options, RuleSet};
 use std::collections::BTreeMap;
@@ -27,7 +28,7 @@ const ALL_RULES: [&str; 9] = [
 ];
 
 #[test]
-fn every_rule_trips_exactly_once_on_the_fixture_tree() {
+fn every_rule_trips_with_known_multiplicity_on_the_fixture_tree() {
     let a = analyze_root(fixture_root(), &Options::default());
     let mut per_rule: BTreeMap<&str, usize> = BTreeMap::new();
     for f in &a.findings {
@@ -39,10 +40,12 @@ fn every_rule_trips_exactly_once_on_the_fixture_tree() {
         "{:#?}",
         a.findings
     );
-    assert!(
-        per_rule.values().all(|&n| n == 1),
-        "each rule exactly once: {per_rule:#?}"
-    );
+    for (rule, &n) in &per_rule {
+        // One fixture per scope: the simulator and workload scopes each
+        // carry an `alloc-in-hot-path` fixture; every other rule has one.
+        let expect = if *rule == "alloc-in-hot-path" { 2 } else { 1 };
+        assert_eq!(n, expect, "{rule}: {:#?}", a.findings);
+    }
 }
 
 #[test]
