@@ -109,7 +109,7 @@ fn main() {
     let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_campaign.json");
     let run = existing_runs(&out) + 1;
     let entry = format!(
-        "{{\"run\":{run},\"epochs\":{},\"measure_cycles\":{},\"warmup_cycles\":{},\
+        "{{\"run\":{run},\"mode\":\"local\",\"epochs\":{},\"measure_cycles\":{},\"warmup_cycles\":{},\
          \"rate\":{},\"elapsed_ms\":{elapsed_ms},\"epochs_per_sec\":{epochs_per_sec:.2},\
          \"kcycles_per_sec\":{kcycles_per_sec:.1},\"simulated_cycles\":{simulated_cycles},\
          \"checkpoint_bytes\":{checkpoint_bytes},\"max_delta_vth_mv\":{max_delta:.4},\

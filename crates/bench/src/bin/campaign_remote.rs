@@ -1,0 +1,195 @@
+//! Distributed campaign throughput bench: epochs/sec through the remote
+//! dispatch plane — two in-process `noc-service` workers sharing one
+//! content-addressed result store, every epoch dispatched over HTTP and
+//! integrated from the wire — appended to `BENCH_campaign.json` with
+//! `"mode":"remote"`.
+//!
+//! Each invocation first runs the identical campaign in-process (the
+//! digest oracle, recorded as the baseline), then dispatches it through a
+//! [`RemoteExecutor`] and records wall time, epochs/sec, and the dispatch
+//! span p50/p99 — the per-epoch submit→poll→result round-trip overhead
+//! the distributed plane adds on top of simulation.
+//!
+//! Usage: `cargo run --release -p nbti-noc-bench --bin campaign_remote`
+//! `[-- --epochs N --measure N --warmup N --rate R]`
+
+use noc_campaign::{Campaign, CampaignSpec, FsResultStore, RemoteExecutor, WorkerPool};
+use noc_service::{clock, Server, ServiceConfig};
+use noc_telemetry::SpanKind;
+use sensorwise::{ExperimentJob, PolicyKind, SyntheticScenario};
+use std::fs;
+use std::path::Path;
+use std::sync::Arc;
+
+struct BenchConfig {
+    epochs: u32,
+    measure: u64,
+    warmup: u64,
+    rate: f64,
+}
+
+fn parse_args() -> BenchConfig {
+    let mut cfg = BenchConfig {
+        epochs: 8,
+        measure: 5_000,
+        warmup: 500,
+        rate: 0.15,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let value = it.next().map(|v| v.as_str()).unwrap_or("");
+        match arg.as_str() {
+            "--epochs" => cfg.epochs = value.parse().expect("--epochs"),
+            "--measure" => cfg.measure = value.parse().expect("--measure"),
+            "--warmup" => cfg.warmup = value.parse().expect("--warmup"),
+            "--rate" => cfg.rate = value.parse().expect("--rate"),
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+    cfg
+}
+
+/// Appends `entry` to the JSON array in `path`, creating it on first run.
+fn append_entry(path: &Path, entry: &str) {
+    let body = match fs::read_to_string(path) {
+        Ok(existing) => {
+            let trimmed = existing.trim_end().trim_end_matches(']').trim_end();
+            let trimmed = trimmed.trim_end_matches(',');
+            format!("{trimmed},\n  {entry}\n]\n")
+        }
+        Err(_) => format!("[\n  {entry}\n]\n"),
+    };
+    fs::write(path, body).expect("write BENCH_campaign.json");
+}
+
+/// Entries already recorded, for the monotone run index.
+fn existing_runs(path: &Path) -> u64 {
+    fs::read_to_string(path)
+        .map(|s| s.matches("\"run\":").count() as u64)
+        .unwrap_or(0)
+}
+
+fn spec(bench: &BenchConfig) -> CampaignSpec {
+    let scenario = SyntheticScenario {
+        cores: 4,
+        vcs: 2,
+        injection_rate: bench.rate,
+    };
+    let mut job: ExperimentJob = scenario.job(PolicyKind::SensorWise, bench.warmup, bench.measure);
+    job.traffic = job.traffic.with_seed(1);
+    CampaignSpec {
+        base: job,
+        epochs: bench.epochs,
+        age_acceleration: 1.0e9,
+        drain_limit: 10_000,
+    }
+}
+
+fn start_worker(store_dir: &Path) -> Server {
+    let cache = FsResultStore::open(store_dir).expect("worker opens the shared store");
+    Server::start_with_cache(
+        &ServiceConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_depth: 16,
+            job_timeout_ms: 0,
+            spans_out: None,
+        },
+        Some(Arc::new(cache)),
+    )
+    .expect("ephemeral bind succeeds")
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let bench = parse_args();
+
+    // The in-process baseline doubles as the digest oracle: a remote
+    // campaign that diverges from it is a broken bench, not a data point.
+    let mut local = Campaign::new(spec(&bench)).expect("bench spec is valid");
+    while !local.is_finished() {
+        local.run_next_epoch(None).expect("local epoch runs");
+    }
+
+    let store_dir = std::env::temp_dir().join(format!(
+        "bench-campaign-remote-{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&store_dir);
+    let store = FsResultStore::open(&store_dir).expect("shared store opens");
+    let w1 = start_worker(&store_dir);
+    let w2 = start_worker(&store_dir);
+    let pool = WorkerPool::new(&[
+        w1.local_addr().to_string(),
+        w2.local_addr().to_string(),
+    ])
+    .expect("two live workers");
+    let exec = RemoteExecutor::new(pool, 2).with_poll(2, 600_000);
+
+    let mut campaign = Campaign::new(spec(&bench)).expect("bench spec is valid");
+    let started = clock::now();
+    while !campaign.is_finished() {
+        campaign
+            .run_next_epoch_with(&exec, Some(&store))
+            .expect("remote epoch dispatches");
+    }
+    let elapsed_ms = clock::millis_since(started).max(1);
+
+    assert_eq!(
+        campaign.chained_digest(),
+        local.chained_digest(),
+        "remote campaign diverged from the in-process oracle"
+    );
+
+    let mut dispatch_us: Vec<u64> = exec
+        .drain_spans()
+        .iter()
+        .filter(|s| s.kind == SpanKind::Dispatch)
+        .map(|s| s.dur_us)
+        .collect();
+    dispatch_us.sort_unstable();
+    let p50 = percentile(&dispatch_us, 0.50);
+    let p99 = percentile(&dispatch_us, 0.99);
+
+    w1.request_shutdown(false);
+    w2.request_shutdown(false);
+    let _ = (w1.wait(), w2.wait());
+    let _ = fs::remove_dir_all(&store_dir);
+
+    let simulated_cycles = campaign.current_cycle().unwrap_or(0);
+    let epochs_per_sec = f64::from(bench.epochs) * 1_000.0 / elapsed_ms as f64;
+    let kcycles_per_sec = simulated_cycles as f64 / elapsed_ms as f64;
+
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_campaign.json");
+    let run = existing_runs(&out) + 1;
+    let entry = format!(
+        "{{\"run\":{run},\"mode\":\"remote\",\"workers\":2,\"epochs\":{},\
+         \"measure_cycles\":{},\"warmup_cycles\":{},\"rate\":{},\
+         \"elapsed_ms\":{elapsed_ms},\"epochs_per_sec\":{epochs_per_sec:.2},\
+         \"kcycles_per_sec\":{kcycles_per_sec:.1},\"simulated_cycles\":{simulated_cycles},\
+         \"dispatch_p50_us\":{p50},\"dispatch_p99_us\":{p99},\
+         \"chained_digest\":\"{:016x}\"}}",
+        bench.epochs,
+        bench.measure,
+        bench.warmup,
+        bench.rate,
+        campaign.chained_digest()
+    );
+    append_entry(&out, &entry);
+    println!(
+        "campaign_remote: {} epochs over 2 workers in {elapsed_ms} ms \
+         ({epochs_per_sec:.2} epochs/s, {kcycles_per_sec:.1} kcycles/s), \
+         dispatch p50 {p50} us p99 {p99} us, chained digest {:016x}",
+        bench.epochs,
+        campaign.chained_digest()
+    );
+    println!("appended run {run} to {}", out.display());
+}

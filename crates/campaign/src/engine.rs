@@ -20,12 +20,16 @@ use crate::snapshot::SnapshotError;
 use nbti_model::rd::RdState;
 use nbti_model::{AlphaPowerModel, Volt};
 use noc_sim::snapshot::NetworkSnapshot;
-use noc_telemetry::{EventDigest, EventKind, TraceEvent};
+use noc_telemetry::{derive_id, EventDigest, EventKind, SpanKind, SpanLog, TraceEvent, NO_PARENT};
 use sensorwise::codec::{json_string, spec_from_json, spec_to_json, JsonValue};
 use sensorwise::experiment::SensorModel;
-use sensorwise::{run_epoch, EpochError, ExperimentConfig, ExperimentJob, ResultCache, TrafficSpec, WireResult};
+use sensorwise::{
+    EpochError, ExperimentConfig, ExperimentJob, ResultCache, TrafficSpec, WireEpochOutcome,
+    WireEpochRequest, WireResult,
+};
 use std::fmt;
 use std::path::Path;
+use std::sync::atomic::AtomicBool;
 
 /// The per-epoch traffic-seed stride (the 64-bit golden-ratio constant):
 /// epoch `e` injects with seed `base + e·stride`, giving every epoch an
@@ -124,6 +128,9 @@ pub enum CampaignError {
     Snapshot(SnapshotError),
     /// An epoch produced no trace digest (telemetry harvest missing).
     MissingTrace,
+    /// A remote dispatch could not be completed: every worker refused,
+    /// died, or the retry budget ran out.
+    Dispatch(String),
 }
 
 impl fmt::Display for CampaignError {
@@ -137,6 +144,7 @@ impl fmt::Display for CampaignError {
             CampaignError::MissingTrace => {
                 write!(f, "epoch returned no trace digest despite tracing being forced on")
             }
+            CampaignError::Dispatch(msg) => write!(f, "remote dispatch failed: {msg}"),
         }
     }
 }
@@ -168,6 +176,67 @@ impl From<SnapshotError> for CampaignError {
     fn from(e: SnapshotError) -> Self {
         CampaignError::Snapshot(e)
     }
+}
+
+/// Where a campaign's epochs actually run.
+///
+/// The engine never simulates directly: it builds a [`WireEpochRequest`]
+/// for the next epoch, hands it to an executor, and integrates the
+/// returned [`WireEpochOutcome`]. Because *both* the in-process
+/// [`LocalExecutor`] and the service-backed remote executor consume the
+/// same wire types, a remote campaign is bit-identical to a local one by
+/// construction — the only thing an executor may vary is *where* the
+/// deterministic function runs, never its inputs or outputs.
+pub trait EpochExecutor {
+    /// Runs epoch `index` described by `request` to completion.
+    ///
+    /// # Errors
+    ///
+    /// Simulation failures ([`CampaignError::Epoch`]) or, for remote
+    /// executors, exhausted dispatch attempts ([`CampaignError::Spec`] is
+    /// never used here; remotes surface [`CampaignError::Dispatch`]).
+    fn execute(
+        &self,
+        index: u32,
+        request: &WireEpochRequest,
+    ) -> Result<WireEpochOutcome, CampaignError>;
+
+    /// The executor's span log, when it records dispatch timing. The
+    /// engine parents its `integrate` spans under the matching epoch span.
+    fn span_log(&self) -> Option<&SpanLog> {
+        None
+    }
+}
+
+/// Runs epochs in-process, on the calling thread.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LocalExecutor;
+
+impl EpochExecutor for LocalExecutor {
+    fn execute(
+        &self,
+        _index: u32,
+        request: &WireEpochRequest,
+    ) -> Result<WireEpochOutcome, CampaignError> {
+        static NEVER: AtomicBool = AtomicBool::new(false);
+        let outcome = request.run_cancellable(&NEVER)?;
+        Ok(WireEpochOutcome::from(&outcome))
+    }
+}
+
+/// One in-flight (or historical) remote dispatch, as recorded in the
+/// checkpoint's coordination log. An entry present in a loaded checkpoint
+/// means the front end died while that epoch was out on that worker — the
+/// resume path re-dispatches it (the shared result store absorbs the
+/// duplicate if the original worker finished the job before dying).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DispatchEntry {
+    /// The epoch that was dispatched.
+    pub epoch: u32,
+    /// The worker address it went to.
+    pub worker: String,
+    /// Zero-based attempt number (bumps on reassignment).
+    pub attempt: u32,
 }
 
 /// What one finished epoch reports back.
@@ -202,6 +271,7 @@ pub struct Campaign {
     pub(crate) epoch_ends: Vec<(u64, u64)>,
     pub(crate) net: Option<NetworkSnapshot>,
     pub(crate) ledger: Option<LifetimeLedger>,
+    pub(crate) dispatch: Vec<DispatchEntry>,
 }
 
 impl Campaign {
@@ -244,6 +314,7 @@ impl Campaign {
             epoch_ends: Vec::new(),
             net: None,
             ledger: None,
+            dispatch: Vec::new(),
         })
     }
 
@@ -351,6 +422,122 @@ impl Campaign {
         format!("{{\"campaign_epoch\":{index},\"campaign\":{}}}", self.spec_json)
     }
 
+    /// The checkpoint's coordination log: dispatches that were in flight
+    /// when the checkpoint was written.
+    pub fn dispatch_ledger(&self) -> &[DispatchEntry] {
+        &self.dispatch
+    }
+
+    /// Records an in-flight dispatch (checkpoint it before dispatching so
+    /// a front-end death leaves a visible trail).
+    pub fn push_dispatch(&mut self, entry: DispatchEntry) {
+        self.dispatch.push(entry);
+    }
+
+    /// Clears the in-flight ledger (the epoch's outcome is integrated).
+    pub fn clear_dispatch(&mut self) {
+        self.dispatch.clear();
+    }
+
+    /// Builds the wire request describing the *next* epoch: the base
+    /// experiment re-seeded for this epoch, the drained boundary snapshot
+    /// to resume from, and the ledger's aged threshold voltages. This is
+    /// the complete, self-contained input a worker needs — local and
+    /// remote execution consume the identical request.
+    pub fn epoch_request(&self) -> Result<WireEpochRequest, CampaignError> {
+        if self.is_finished() {
+            return Err(CampaignError::Finished);
+        }
+        let index = self.completed;
+        let traffic = self
+            .spec
+            .base
+            .traffic
+            .with_seed(self.spec.epoch_seed(index));
+        let base = ExperimentJob {
+            cfg: self.cfg.clone(),
+            traffic,
+        };
+        let vths_bits = self
+            .ledger
+            .as_ref()
+            .map(|ledger| WireEpochRequest::encode_vths(&ledger.aged_vths()));
+        Ok(WireEpochRequest {
+            base,
+            resume: self.net.clone(),
+            vths_bits,
+            drain_limit: self.spec.drain_limit,
+        })
+    }
+
+    /// Folds a finished epoch's wire outcome into the campaign: seeds or
+    /// ages the ledger, advances the boundary chain, and files the result.
+    fn integrate_outcome(
+        &mut self,
+        index: u32,
+        wire: WireEpochOutcome,
+        store: Option<&dyn ResultCache>,
+    ) -> Result<EpochReport, CampaignError> {
+        let digest = wire.result.trace_digest.ok_or(CampaignError::MissingTrace)?;
+        if self.ledger.is_none() {
+            let initial = wire.initial_vths();
+            self.ledger = Some(LifetimeLedger::new(
+                &initial,
+                self.cfg.model,
+                self.spec.age_acceleration,
+            )?);
+        }
+        let (max_delta_vth_mv, worst_delay) = match self.ledger.as_mut() {
+            Some(ledger) => {
+                ledger.integrate_epoch(&wire.duty_totals)?;
+                (
+                    ledger.max_delta_vth_mv(),
+                    ledger.worst_delay_degradation_percent(&AlphaPowerModel::paper_45nm()),
+                )
+            }
+            None => (0.0, 0.0),
+        };
+        let end_cycle = wire.snapshot.cycle;
+        self.epoch_ends.push((end_cycle, digest));
+        self.net = Some(wire.snapshot);
+        self.completed = index + 1;
+        if let Some(store) = store {
+            store.put(&self.epoch_store_key(index), &wire.result);
+        }
+        Ok(EpochReport {
+            index,
+            end_cycle,
+            digest,
+            chained_digest: self.chained_digest(),
+            drain_cycles: wire.drain_cycles,
+            max_delta_vth_mv,
+            worst_delay_degradation_percent: worst_delay,
+            result: wire.result,
+        })
+    }
+
+    /// Runs the next epoch through `exec`: builds the wire request,
+    /// executes it (locally or on a remote worker), then integrates the
+    /// wire outcome. When the executor carries a [`SpanLog`], the
+    /// integration step is recorded as an `integrate` span parented under
+    /// the epoch's derived span id.
+    pub fn run_next_epoch_with(
+        &mut self,
+        exec: &dyn EpochExecutor,
+        store: Option<&dyn ResultCache>,
+    ) -> Result<EpochReport, CampaignError> {
+        let index = self.completed;
+        let request = self.epoch_request()?;
+        let wire = exec.execute(index, &request)?;
+        let started = exec.span_log().map(SpanLog::now_us);
+        let report = self.integrate_outcome(index, wire, store)?;
+        if let (Some(log), Some(start)) = (exec.span_log(), started) {
+            let parent = derive_id(SpanKind::Epoch, &format!("epoch-{index}"), NO_PARENT);
+            log.record(SpanKind::Integrate, &format!("integrate-e{index}"), parent, start);
+        }
+        Ok(report)
+    }
+
     /// Runs the next epoch: resumes the drained network, seeds sensors
     /// with the ledger's aged `Vth`s, simulates warmup + measurement +
     /// drain, then folds the epoch's duty totals back into the ledger.
@@ -364,66 +551,7 @@ impl Campaign {
         &mut self,
         store: Option<&dyn ResultCache>,
     ) -> Result<EpochReport, CampaignError> {
-        if self.is_finished() {
-            return Err(CampaignError::Finished);
-        }
-        let index = self.completed;
-        let traffic_spec = self
-            .spec
-            .base
-            .traffic
-            .with_seed(self.spec.epoch_seed(index));
-        let mut traffic = traffic_spec.build(&self.cfg.noc);
-        let aged = self.ledger.as_ref().map(LifetimeLedger::aged_vths);
-        let outcome = run_epoch(
-            &self.cfg,
-            traffic.as_mut(),
-            self.net.as_ref(),
-            aged.as_deref(),
-            self.spec.drain_limit,
-        )?;
-        let digest = outcome.result.trace_digest().ok_or(CampaignError::MissingTrace)?;
-        if self.ledger.is_none() {
-            let initial: Vec<Vec<Volt>> = outcome
-                .result
-                .ports
-                .iter()
-                .map(|p| p.initial_vths.clone())
-                .collect();
-            self.ledger = Some(LifetimeLedger::new(
-                &initial,
-                self.cfg.model,
-                self.spec.age_acceleration,
-            )?);
-        }
-        let (max_delta_vth_mv, worst_delay) = match self.ledger.as_mut() {
-            Some(ledger) => {
-                ledger.integrate_epoch(&outcome.duty_totals)?;
-                (
-                    ledger.max_delta_vth_mv(),
-                    ledger.worst_delay_degradation_percent(&AlphaPowerModel::paper_45nm()),
-                )
-            }
-            None => (0.0, 0.0),
-        };
-        let end_cycle = outcome.snapshot.cycle;
-        self.epoch_ends.push((end_cycle, digest));
-        self.net = Some(outcome.snapshot);
-        self.completed = index + 1;
-        let result = WireResult::from(&outcome.result);
-        if let Some(store) = store {
-            store.put(&self.epoch_store_key(index), &result);
-        }
-        Ok(EpochReport {
-            index,
-            end_cycle,
-            digest,
-            chained_digest: self.chained_digest(),
-            drain_cycles: outcome.drain_cycles,
-            max_delta_vth_mv,
-            worst_delay_degradation_percent: worst_delay,
-            result,
-        })
+        self.run_next_epoch_with(&LocalExecutor, store)
     }
 
     /// Runs every remaining epoch, checkpointing after each one when a

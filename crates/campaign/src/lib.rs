@@ -16,12 +16,17 @@
 //!   determinism, and epoch reports carrying `ΔVth` and delay-degradation
 //!   projections,
 //! * [`snapshot`] — versioned, checksummed binary checkpoints
-//!   (`NBTICAMP` v1): resume at any epoch boundary is bit-identical to
+//!   (`NBTICAMP` v2): resume at any epoch boundary is bit-identical to
 //!   the uninterrupted run, and any corruption surfaces as a typed error,
 //! * [`store`] — a content-addressed filesystem result store (canonical
 //!   spec JSON → persisted wire result) implementing the engine-side
 //!   [`sensorwise::ResultCache`] contract, with deterministic
-//!   sequence-number GC.
+//!   sequence-number GC,
+//! * [`remote`] — the distributed execution plane: a [`WorkerPool`] of
+//!   `noc-service` workers, a [`RemoteExecutor`] implementing the same
+//!   [`EpochExecutor`] contract as in-process execution (so remote
+//!   campaigns are bit-identical by construction), retry with
+//!   reassignment on worker death, and backpressure-aware scheduling.
 //!
 //! # Example
 //!
@@ -62,10 +67,15 @@
 
 pub mod engine;
 pub mod ledger;
+pub mod remote;
 pub mod snapshot;
 pub mod store;
 
-pub use engine::{Campaign, CampaignError, CampaignSpec, EpochReport, EPOCH_SEED_STRIDE};
+pub use engine::{
+    Campaign, CampaignError, CampaignSpec, DispatchEntry, EpochExecutor, EpochReport,
+    LocalExecutor, EPOCH_SEED_STRIDE,
+};
 pub use ledger::{LedgerError, LifetimeLedger};
-pub use snapshot::{SnapshotError, FORMAT_VERSION, MAGIC};
+pub use remote::{recover_from_store, run_batch_remote, RemoteExecutor, WorkerPool};
+pub use snapshot::{SnapshotError, FORMAT_VERSION, MAGIC, MIN_READ_VERSION};
 pub use store::{FsResultStore, GcReport, StoreError, StoreStats};

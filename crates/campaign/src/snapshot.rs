@@ -1,11 +1,11 @@
 //! Versioned, checksummed binary campaign checkpoints.
 //!
-//! # Format (`NBTICAMP` v1)
+//! # Format (`NBTICAMP` v2)
 //!
 //! ```text
 //! offset  size  field
 //! 0       8     magic  b"NBTICAMP"
-//! 8       2     format version, u16 LE (currently 1)
+//! 8       2     format version, u16 LE (currently 2; v1 still decodes)
 //! 10      8     payload length, u64 LE
 //! 18      8     FNV-1a 64 checksum of the payload, u64 LE
 //! 26      n     payload
@@ -18,6 +18,14 @@
 //! states (`f64` via `to_bits`, so restore is bit-exact). Every integer is
 //! fixed-width LE; every sequence is length-prefixed with a `u64`.
 //!
+//! Version 2 appends the distributed-campaign *dispatch ledger*: the
+//! in-flight remote dispatches at checkpoint time, each a
+//! `(epoch u32, attempt u32, worker string)` record. The checkpoint is the
+//! coordination log of a remote campaign — a front end that dies between
+//! dispatch and integration leaves its in-flight entries on disk, and the
+//! resume path re-dispatches exactly those epochs (the shared result store
+//! absorbs duplicates). A v1 checkpoint decodes as an empty ledger.
+//!
 //! Decoding is strict and total: any damage — truncation, a flipped
 //! payload byte, an unknown version, trailing garbage, inconsistent
 //! counts, non-finite walker state — surfaces as a typed
@@ -27,7 +35,7 @@
 //! Writes are atomic (temp file + rename in the target directory), so a
 //! kill mid-checkpoint leaves the previous checkpoint intact.
 
-use crate::engine::{Campaign, CampaignSpec};
+use crate::engine::{Campaign, CampaignSpec, DispatchEntry};
 use nbti_model::rd::RdState;
 use nbti_model::Volt;
 use noc_sim::snapshot::{NetworkSnapshot, PortState};
@@ -40,8 +48,11 @@ use std::path::Path;
 /// The checkpoint file magic.
 pub const MAGIC: [u8; 8] = *b"NBTICAMP";
 
-/// The current checkpoint format version.
-pub const FORMAT_VERSION: u16 = 1;
+/// The checkpoint format version this build writes.
+pub const FORMAT_VERSION: u16 = 2;
+
+/// The oldest checkpoint format version this build still reads.
+pub const MIN_READ_VERSION: u16 = 1;
 
 const HEADER_LEN: usize = 8 + 2 + 8 + 8;
 
@@ -339,12 +350,41 @@ fn read_ledger(r: &mut Reader<'_>) -> Result<Vec<Vec<(Volt, RdState)>>, Snapshot
     Ok(rows)
 }
 
+fn put_dispatch(out: &mut Vec<u8>, entries: &[DispatchEntry]) {
+    put_len(out, entries.len());
+    for entry in entries {
+        put_u32(out, entry.epoch);
+        put_u32(out, entry.attempt);
+        put_len(out, entry.worker.len());
+        out.extend_from_slice(entry.worker.as_bytes());
+    }
+}
+
+fn read_dispatch(r: &mut Reader<'_>) -> Result<Vec<DispatchEntry>, SnapshotError> {
+    let count = r.len()?;
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let epoch = r.u32()?;
+        let attempt = r.u32()?;
+        let worker_len = r.len()?;
+        let worker = std::str::from_utf8(r.bytes(worker_len)?)
+            .map_err(|e| SnapshotError::Malformed(format!("worker address is not UTF-8: {e}")))?
+            .to_string();
+        entries.push(DispatchEntry {
+            epoch,
+            worker,
+            attempt,
+        });
+    }
+    Ok(entries)
+}
+
 // ---------------------------------------------------------------------------
 // Campaign encode/decode
 // ---------------------------------------------------------------------------
 
 impl Campaign {
-    /// Encodes the full campaign state into the `NBTICAMP` v1 byte format.
+    /// Encodes the full campaign state into the `NBTICAMP` v2 byte format.
     pub fn encode(&self) -> Vec<u8> {
         let mut payload = Vec::new();
         put_len(&mut payload, self.spec_json.len());
@@ -369,6 +409,7 @@ impl Campaign {
             }
             None => payload.push(0),
         }
+        put_dispatch(&mut payload, &self.dispatch);
         let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
         out.extend_from_slice(&MAGIC);
         put_u16(&mut out, FORMAT_VERSION);
@@ -392,7 +433,7 @@ impl Campaign {
         let mut version_raw = [0u8; 2];
         version_raw.copy_from_slice(hdr.bytes(2)?);
         let version = u16::from_le_bytes(version_raw);
-        if version != FORMAT_VERSION {
+        if !(MIN_READ_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(SnapshotError::BadVersion {
                 found: version,
                 supported: FORMAT_VERSION,
@@ -447,8 +488,23 @@ impl Campaign {
                 )))
             }
         };
+        // v1 checkpoints predate the distributed plane: no dispatch section.
+        let dispatch = if version >= 2 {
+            read_dispatch(&mut r)?
+        } else {
+            Vec::new()
+        };
         r.finish()?;
-        let campaign = Campaign::from_parts(spec, completed, epoch_ends, net, states)?;
+        let mut campaign = Campaign::from_parts(spec, completed, epoch_ends, net, states)?;
+        for entry in &dispatch {
+            if entry.epoch != campaign.completed {
+                return Err(SnapshotError::Malformed(format!(
+                    "dispatch ledger names epoch {} but the next epoch is {}",
+                    entry.epoch, campaign.completed
+                )));
+            }
+        }
+        campaign.dispatch = dispatch;
         if campaign.spec_json != spec_json {
             return Err(SnapshotError::Malformed(
                 "stored spec JSON is not canonical".to_string(),
@@ -584,6 +640,60 @@ mod tests {
             Campaign::decode(&trailing).unwrap_err(),
             SnapshotError::Malformed(_)
         ));
+    }
+
+    #[test]
+    fn dispatch_ledger_round_trips() {
+        let mut campaign = Campaign::new(small_spec(3, 13)).unwrap();
+        campaign.run_next_epoch(None).unwrap();
+        campaign.push_dispatch(DispatchEntry {
+            epoch: 1,
+            worker: "127.0.0.1:4001".to_string(),
+            attempt: 0,
+        });
+        campaign.push_dispatch(DispatchEntry {
+            epoch: 1,
+            worker: "127.0.0.1:4002".to_string(),
+            attempt: 1,
+        });
+        let bytes = campaign.encode();
+        let back = Campaign::decode(&bytes).unwrap();
+        assert_eq!(back.dispatch_ledger(), campaign.dispatch_ledger());
+        assert_eq!(back.encode(), bytes);
+        // A ledger naming a different epoch than the next one is damage.
+        let mut wrong = Campaign::new(small_spec(3, 13)).unwrap();
+        wrong.push_dispatch(DispatchEntry {
+            epoch: 2,
+            worker: "w".to_string(),
+            attempt: 0,
+        });
+        assert!(matches!(
+            Campaign::decode(&wrong.encode()).unwrap_err(),
+            SnapshotError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn v1_checkpoints_still_decode_with_an_empty_dispatch_ledger() {
+        let mut campaign = Campaign::new(small_spec(2, 9)).unwrap();
+        campaign.run_next_epoch(None).unwrap();
+        let v2 = campaign.encode();
+        // Rebuild the same checkpoint as v1: drop the trailing empty
+        // dispatch section (a lone u64 zero) and rewrite the header.
+        let payload = &v2[HEADER_LEN..v2.len() - 8];
+        let mut v1 = Vec::with_capacity(HEADER_LEN + payload.len());
+        v1.extend_from_slice(&MAGIC);
+        put_u16(&mut v1, 1);
+        put_len(&mut v1, payload.len());
+        put_u64(&mut v1, fnv64(payload));
+        v1.extend_from_slice(payload);
+        let back = Campaign::decode(&v1).unwrap();
+        assert_eq!(back.completed(), campaign.completed());
+        assert_eq!(back.epoch_ends(), campaign.epoch_ends());
+        assert_eq!(back.chained_digest(), campaign.chained_digest());
+        assert!(back.dispatch_ledger().is_empty());
+        // Saving it again upgrades to the current version.
+        assert_eq!(back.encode(), v2);
     }
 
     #[test]

@@ -15,6 +15,13 @@
 //! is a miss: callers recompute, the store never surfaces corruption as
 //! data.
 //!
+//! The store carries two planes over the same envelope: the typed
+//! [`ResultCache::get`]/[`ResultCache::put`] plane for [`WireResult`]s,
+//! and the raw-JSON `get_json`/`put_json` plane the distributed campaign
+//! subsystem uses for epoch-outcome documents. Entry writes go through a
+//! per-writer temp file plus an atomic rename, so the store is safe as
+//! the *shared* result plane of many concurrent worker processes.
+//!
 //! Eviction is deterministic and wall-clock-free: entries carry a
 //! monotonic sequence number from a persisted counter, and
 //! [`FsResultStore::gc`] drops the lowest `(seq, filename)` order first —
@@ -160,8 +167,11 @@ impl FsResultStore {
     }
 }
 
-impl ResultCache for FsResultStore {
-    fn get(&self, spec: &str) -> Option<WireResult> {
+impl FsResultStore {
+    /// Reads and verifies an entry, returning the raw stored result text.
+    /// Any damage — unreadable file, bad JSON, foreign spec, checksum
+    /// mismatch — is a miss.
+    fn read_verified(&self, spec: &str) -> Option<String> {
         let text = fs::read_to_string(self.entry_path(spec)).ok()?;
         let entry = JsonValue::parse(&text).ok()?;
         let stored_spec = entry.get("spec")?.as_str()?;
@@ -175,23 +185,53 @@ impl ResultCache for FsResultStore {
         if format!("{:016x}", spec_key(result_text)) != check {
             return None;
         }
-        WireResult::from_json(result_text).ok()
+        Some(result_text.to_string())
     }
 
-    fn put(&self, spec: &str, result: &WireResult) {
+    /// Writes an entry atomically: the full envelope goes to a temp file
+    /// unique to this writer (pid + process-wide counter), which is then
+    /// renamed over the address. Racing writers on the same key — two
+    /// remote workers finishing the same epoch, say — each write a
+    /// complete entry and rename it; rename is atomic, so a reader sees
+    /// one whole winner, never a splice of both.
+    fn write_entry(&self, spec: &str, result_text: &str) {
+        static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         let seq = self.bump_seq();
-        let result_text = result.to_json();
         let entry = format!(
             "{{\"seq\":{seq},\"check\":\"{:016x}\",\"spec\":{},\"result\":{}}}",
-            spec_key(&result_text),
+            spec_key(result_text),
             json_string(spec),
-            json_string(&result_text)
+            json_string(result_text)
         );
         let path = self.entry_path(spec);
-        let tmp = path.with_extension("json.tmp");
+        let nonce = TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = self.dir.join(format!(
+            "{:016x}.{}.{nonce}.tmp",
+            spec_key(spec),
+            std::process::id()
+        ));
         if fs::write(&tmp, entry).is_ok() {
             let _ = fs::rename(&tmp, &path);
         }
+    }
+}
+
+impl ResultCache for FsResultStore {
+    fn get(&self, spec: &str) -> Option<WireResult> {
+        let result_text = self.read_verified(spec)?;
+        WireResult::from_json(&result_text).ok()
+    }
+
+    fn put(&self, spec: &str, result: &WireResult) {
+        self.write_entry(spec, &result.to_json());
+    }
+
+    fn get_json(&self, spec: &str) -> Option<String> {
+        self.read_verified(spec)
+    }
+
+    fn put_json(&self, spec: &str, json: &str) {
+        self.write_entry(spec, json);
     }
 }
 
@@ -279,6 +319,73 @@ mod tests {
             store.get(&spec).is_none(),
             "spec verification must reject a colliding entry"
         );
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn raw_json_plane_round_trips_and_verifies_like_the_typed_one() {
+        let store = temp_store("rawjson");
+        let spec = "{\"campaign_epoch\":0,\"campaign\":\"demo\"}";
+        assert!(store.get_json(spec).is_none());
+        let doc = "{\"kind\":\"epoch_outcome\",\"drain_cycles\":17}";
+        store.put_json(spec, doc);
+        assert_eq!(store.get_json(spec).as_deref(), Some(doc));
+        // The typed getter refuses the same entry (it is not a
+        // WireResult) without erroring — planes are kept honest.
+        assert!(store.get(spec).is_none());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn racing_writers_on_one_key_converge_to_one_valid_entry() {
+        let store = temp_store("race");
+        let spec = spec_to_json(&job(20)).unwrap();
+        let result = WireResult::from(&job(20).run());
+        let expected = result.to_json();
+        // Two workers finishing the same epoch push the identical result
+        // concurrently, many times over to widen the race window.
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                scope.spawn(|| {
+                    for _ in 0..50 {
+                        store.put(&spec, &result);
+                    }
+                });
+            }
+        });
+        let cached = store.get(&spec).expect("entry must survive the race");
+        assert_eq!(cached.to_json(), expected);
+        // No torn temp files left behind, and exactly one entry on disk.
+        let leftovers: Vec<_> = fs::read_dir(store.dir())
+            .unwrap()
+            .flatten()
+            .filter(|d| d.path().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files leaked: {leftovers:?}");
+        assert_eq!(store.stats().unwrap().entries, 1);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn corrupt_entry_on_the_raw_plane_is_a_miss_then_a_recompute() {
+        let store = temp_store("rawcorrupt");
+        let spec = "{\"campaign_epoch\":2,\"campaign\":\"demo\"}";
+        let doc = "{\"kind\":\"epoch_outcome\",\"drain_cycles\":99}";
+        store.put_json(spec, doc);
+        let path = store.entry_path(spec);
+        // A remote worker's torn write / bit rot: flip a byte inside the
+        // stored result.
+        let text = fs::read_to_string(&path).unwrap();
+        let tampered = text.replacen("99", "98", 1);
+        assert_ne!(tampered, text);
+        fs::write(&path, tampered).unwrap();
+        assert!(
+            store.get_json(spec).is_none(),
+            "checksum must catch the tampered result"
+        );
+        // The caller recomputes and re-files; the plane heals.
+        store.put_json(spec, doc);
+        assert_eq!(store.get_json(spec).as_deref(), Some(doc));
         let _ = fs::remove_dir_all(store.dir());
     }
 

@@ -38,6 +38,19 @@ pub trait ResultCache {
     /// an optimization, so a store that cannot write must degrade to
     /// recomputation, not abort the experiment.
     fn put(&self, spec: &str, result: &WireResult);
+
+    /// Looks up an arbitrary canonical JSON payload stored under `spec`
+    /// (the distributed campaign path files epoch outcomes this way).
+    /// Stores that only understand [`WireResult`] entries keep the default,
+    /// which degrades to a miss — callers recompute.
+    fn get_json(&self, _spec: &str) -> Option<String> {
+        None
+    }
+
+    /// Persists an arbitrary canonical JSON payload under `spec`. The
+    /// default swallows the write (see [`ResultCache::put`]): a store that
+    /// cannot file raw payloads degrades to recomputation downstream.
+    fn put_json(&self, _spec: &str, _json: &str) {}
 }
 
 /// FNV-1a 64-bit hash of a spec string — the address stores may file
@@ -112,6 +125,16 @@ impl ResultCache for MemoryCache {
     fn put(&self, spec: &str, result: &WireResult) {
         let mut entries = self.entries.lock().expect("cache lock poisoned");
         entries.insert(spec.to_string(), result.to_json());
+    }
+
+    fn get_json(&self, spec: &str) -> Option<String> {
+        let entries = self.entries.lock().expect("cache lock poisoned");
+        entries.get(spec).cloned()
+    }
+
+    fn put_json(&self, spec: &str, json: &str) {
+        let mut entries = self.entries.lock().expect("cache lock poisoned");
+        entries.insert(spec.to_string(), json.to_string());
     }
 }
 

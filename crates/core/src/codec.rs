@@ -852,6 +852,10 @@ pub fn result_to_json(r: &ExperimentResult) -> String {
     WireResult::from(r).to_json()
 }
 
+// The campaign-epoch wire types live in their own module but belong to the
+// same one-schema codec surface.
+pub use crate::epoch_wire::{is_epoch_request, WireEpochOutcome, WireEpochRequest};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -448,16 +448,37 @@ pub fn run_epoch(
     vths: Option<&[Vec<Volt>]>,
     drain_limit: u64,
 ) -> Result<EpochOutcome, EpochError> {
+    static NEVER: AtomicBool = AtomicBool::new(false);
+    run_epoch_cancellable(cfg, traffic, resume, vths, drain_limit, &NEVER)
+}
+
+/// [`run_epoch`] with a cooperative cancellation flag, for serving layers
+/// that must be able to abandon an epoch without altering any result it
+/// would otherwise produce. Cancellation yields [`EpochError::Cancelled`];
+/// a run that completes is bit-identical to an uncancellable one.
+///
+/// # Panics
+///
+/// Panics if the network configuration is invalid or `vths` does not match
+/// the port list.
+pub fn run_epoch_cancellable(
+    cfg: &ExperimentConfig,
+    traffic: &mut dyn TrafficSource,
+    resume: Option<&NetworkSnapshot>,
+    vths: Option<&[Vec<Volt>]>,
+    drain_limit: u64,
+    cancel: &AtomicBool,
+) -> Result<EpochOutcome, EpochError> {
     if !matches!(cfg.sensor, SensorModel::Ideal) {
         return Err(EpochError::UnsupportedSensor);
     }
     if cfg.telemetry.trace {
         let sink = RecordSink::with_capacity(cfg.telemetry.trace_capacity);
         let net = Network::with_sink(cfg.noc.clone(), sink).expect("valid NoC configuration");
-        run_epoch_sink(cfg, traffic, net, resume, vths, drain_limit)
+        run_epoch_sink(cfg, traffic, net, resume, vths, drain_limit, cancel)
     } else {
         let net = Network::new(cfg.noc.clone()).expect("valid NoC configuration");
-        run_epoch_sink(cfg, traffic, net, resume, vths, drain_limit)
+        run_epoch_sink(cfg, traffic, net, resume, vths, drain_limit, cancel)
     }
 }
 
@@ -468,6 +489,7 @@ fn run_epoch_sink<T: TraceSink>(
     resume: Option<&NetworkSnapshot>,
     vths: Option<&[Vec<Volt>]>,
     drain_limit: u64,
+    cancel: &AtomicBool,
 ) -> Result<EpochOutcome, EpochError> {
     if let Some(snap) = resume {
         net.restore(snap).map_err(EpochError::Restore)?;
@@ -493,14 +515,13 @@ fn run_epoch_sink<T: TraceSink>(
             )
         }
     };
-    static NEVER: AtomicBool = AtomicBool::new(false);
     let out = run_loop_inner(
         cfg,
         traffic,
         net,
         port_ids,
         monitor,
-        &NEVER,
+        cancel,
         Some(drain_limit),
         &mut NullProfiler,
     )?;

@@ -53,6 +53,7 @@
 pub mod analysis;
 pub mod cache;
 pub mod codec;
+pub mod epoch_wire;
 pub mod experiment;
 pub mod modelcheck;
 pub mod monitor;
@@ -65,10 +66,11 @@ pub use cache::{run_batch_cached, spec_key, CachedBatch, MemoryCache, ResultCach
 pub use codec::{
     result_to_json, spec_from_json, spec_to_json, CodecError, JsonValue, WirePort, WireResult,
 };
+pub use epoch_wire::{is_epoch_request, WireEpochOutcome, WireEpochRequest};
 pub use experiment::{
-    run_epoch, run_experiment, run_experiment_cancellable, run_experiment_profiled, EpochError,
-    EpochOutcome, ExperimentConfig, ExperimentResult, PortResult, SensorModel, SyntheticScenario,
-    LOAD_CALIBRATION,
+    run_epoch, run_epoch_cancellable, run_experiment, run_experiment_cancellable,
+    run_experiment_profiled, EpochError, EpochOutcome, ExperimentConfig, ExperimentResult,
+    PortResult, SensorModel, SyntheticScenario, LOAD_CALIBRATION,
 };
 pub use modelcheck::{
     checked_policies, controller_for, explore_config_for, model_check, model_check_default,

@@ -9,8 +9,38 @@
 use crate::clock;
 use crate::http::http_request;
 use sensorwise::codec::{JsonValue, WireResult};
+use sensorwise::spec_key;
 use std::thread;
 use std::time::Duration;
+
+/// Deterministic backoff for a `429` retry, in milliseconds.
+///
+/// Classic randomized exponential backoff decorrelates contending
+/// clients by sampling the wall clock or a global RNG — both of which
+/// would make a retried submission depend on *when* it ran. Here the
+/// jitter is derived from the submission itself: `seed` is the spec's
+/// content key, mixed with the attempt number through SplitMix64. Two
+/// clients pushing different specs still spread out; the same spec
+/// retried in a replayed run waits exactly as long as it did the first
+/// time.
+///
+/// The wait grows `20ms << attempt` (capped at attempt 4) plus up to
+/// half that again in jitter, and never exceeds the server's
+/// `Retry-After` hint (clamped to 1..=5 s) nor 400 ms — the hint is an
+/// upper bound and queues drain in milliseconds.
+#[must_use]
+pub fn deterministic_backoff_ms(seed: u64, attempt: u32, retry_after_secs: u64) -> u64 {
+    // SplitMix64 finalizer over the seed/attempt pair.
+    let mut z = seed ^ (u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let base = 20u64 << attempt.min(4);
+    let jitter = z % (base / 2 + 1);
+    let cap = (retry_after_secs.clamp(1, 5) * 1000).min(400);
+    (base + jitter).min(cap)
+}
 
 /// Outcome of one submission attempt.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -125,6 +155,7 @@ impl ServiceClient {
     ) -> Result<(u64, u32, Vec<u64>), String> {
         let mut latencies = Vec::new();
         let mut busy = 0u32;
+        let seed = spec_key(spec_json);
         loop {
             let (outcome, latency_ms) = self.submit(spec_json)?;
             latencies.push(latency_ms);
@@ -135,9 +166,7 @@ impl ServiceClient {
                     if busy > max_retries {
                         return Err(format!("queue still full after {max_retries} retries"));
                     }
-                    // Back off well under the hinted second: the hint is
-                    // an upper bound and jobs drain in milliseconds.
-                    let wait = (retry_after_secs.clamp(1, 5) * 50).min(250);
+                    let wait = deterministic_backoff_ms(seed, busy - 1, retry_after_secs);
                     thread::sleep(Duration::from_millis(wait));
                 }
                 Submitted::Refused { status, error } => {
@@ -145,6 +174,72 @@ impl ServiceClient {
                 }
             }
         }
+    }
+
+    /// Submits many specs in one request (`POST /jobs/batch`).
+    ///
+    /// The server makes a single queue-reservation pass over the array,
+    /// so items admitted together were admitted against the same
+    /// snapshot of free capacity. Returns one [`Submitted`] per input,
+    /// in order: `202` rows map to [`Submitted::Accepted`] (cached hits
+    /// included — they are already `done`), `429` rows to
+    /// [`Submitted::Busy`], anything else to [`Submitted::Refused`].
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, a non-`200` envelope, or a malformed body.
+    pub fn submit_batch(&self, specs: &[String]) -> Result<Vec<Submitted>, String> {
+        let mut body = String::from("{\"jobs\":[");
+        for (i, spec) in specs.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(spec);
+        }
+        body.push_str("]}");
+        let (response, _) = self.timed("POST", "/jobs/batch", &body)?;
+        if response.status != 200 {
+            return Err(format!(
+                "batch: HTTP {}: {}",
+                response.status, response.body
+            ));
+        }
+        let v = JsonValue::parse(&response.body).map_err(|e| e.to_string())?;
+        let items = v
+            .get("items")
+            .and_then(JsonValue::as_arr)
+            .ok_or("batch response without items")?;
+        let mut out = Vec::with_capacity(items.len());
+        for item in items {
+            let code = item
+                .get("code")
+                .and_then(JsonValue::as_u64)
+                .ok_or("batch item without a code")?;
+            out.push(match code {
+                202 => {
+                    let id = item
+                        .get("id")
+                        .and_then(JsonValue::as_u64)
+                        .ok_or("202 batch item without an id")?;
+                    Submitted::Accepted { id }
+                }
+                429 => Submitted::Busy {
+                    retry_after_secs: item
+                        .get("retry_after")
+                        .and_then(JsonValue::as_u64)
+                        .unwrap_or(1),
+                },
+                status => Submitted::Refused {
+                    status: u16::try_from(status).unwrap_or(500),
+                    error: item
+                        .get("error")
+                        .and_then(JsonValue::as_str)
+                        .unwrap_or("")
+                        .to_string(),
+                },
+            });
+        }
+        Ok(out)
     }
 
     /// Fetches a job's status.
@@ -193,6 +288,25 @@ impl ServiceClient {
             200 => WireResult::from_json(&response.body)
                 .map(Some)
                 .map_err(|e| e.to_string()),
+            409 => Ok(None),
+            status => Err(format!("result {id}: HTTP {status}: {}", response.body)),
+        }
+    }
+
+    /// Fetches a finished job's result body verbatim; `Ok(None)` while
+    /// it is still queued or running.
+    ///
+    /// Epoch jobs serve a `WireEpochOutcome` document rather than a
+    /// `WireResult`, so remote campaign callers need the raw text to
+    /// decode themselves.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or unknown ids.
+    pub fn result_json(&self, id: u64) -> Result<Option<String>, String> {
+        let (response, _) = self.timed("GET", &format!("/jobs/{id}/result"), "")?;
+        match response.status {
+            200 => Ok(Some(response.body)),
             409 => Ok(None),
             status => Err(format!("result {id}: HTTP {status}: {}", response.body)),
         }
@@ -271,5 +385,52 @@ impl ServiceClient {
             return Err(format!("shutdown: HTTP {}: {}", response.status, response.body));
         }
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deterministic_backoff_ms;
+
+    #[test]
+    fn backoff_is_a_pure_function_of_its_inputs() {
+        for attempt in 0..8 {
+            let a = deterministic_backoff_ms(0xDEAD_BEEF, attempt, 1);
+            let b = deterministic_backoff_ms(0xDEAD_BEEF, attempt, 1);
+            assert_eq!(a, b, "attempt {attempt} must replay identically");
+        }
+        // Different specs decorrelate: at least one attempt differs.
+        let diverged = (0..8).any(|attempt| {
+            deterministic_backoff_ms(1, attempt, 5) != deterministic_backoff_ms(2, attempt, 5)
+        });
+        assert!(diverged, "distinct seeds should yield distinct schedules");
+    }
+
+    #[test]
+    fn backoff_honors_retry_after_and_the_global_cap() {
+        for seed in [0u64, 1, u64::MAX, 0x1234_5678_9ABC_DEF0] {
+            for attempt in 0..10 {
+                for hint in [0u64, 1, 2, 5, 60] {
+                    let wait = deterministic_backoff_ms(seed, attempt, hint);
+                    let cap = (hint.clamp(1, 5) * 1000).min(400);
+                    assert!(wait <= cap, "wait {wait} exceeds cap {cap}");
+                    assert!(wait >= 1, "a busy retry always waits a little");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_grows_with_attempts_until_the_cap() {
+        // Base doubles per attempt (before jitter), saturating at 320ms;
+        // the floor of the wait therefore rises until the cap bites.
+        let floor = |attempt: u32| 20u64 << attempt.min(4);
+        for attempt in 0..6 {
+            let wait = deterministic_backoff_ms(42, attempt, 5);
+            assert!(
+                wait >= floor(attempt).min(400),
+                "attempt {attempt}: wait {wait} under floor"
+            );
+        }
     }
 }

@@ -19,7 +19,7 @@
 
 use crate::clock;
 use sensorwise::codec::json_string;
-use sensorwise::ExperimentJob;
+use sensorwise::{ExperimentJob, WireEpochRequest};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -74,13 +74,26 @@ impl fmt::Display for JobState {
     }
 }
 
+/// What an accepted job runs: the serving layer executes standalone
+/// experiments and — for the distributed campaign plane — single campaign
+/// epochs shipped as [`WireEpochRequest`]s. Both are fully described by
+/// their canonical spec JSON, so the cache and accounting paths are
+/// identical.
+#[derive(Debug, Clone)]
+pub enum JobPayload {
+    /// A standalone experiment spec.
+    Experiment(Box<ExperimentJob>),
+    /// One campaign epoch (resume snapshot + aged voltages included).
+    Epoch(Box<WireEpochRequest>),
+}
+
 /// One tracked job.
 #[derive(Debug)]
 pub struct JobRecord {
     /// The job id.
     pub id: JobId,
-    /// The decoded, runnable job.
-    pub job: ExperimentJob,
+    /// The decoded, runnable payload.
+    pub job: JobPayload,
     /// Canonical spec JSON (re-encoded from the decoded job).
     pub spec_json: String,
     /// Current state.
@@ -134,7 +147,7 @@ impl JobTable {
     }
 
     /// Registers a new queued job and returns its id.
-    pub fn insert(&self, job: ExperimentJob, spec_json: String) -> JobId {
+    pub fn insert(&self, job: JobPayload, spec_json: String) -> JobId {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
         let record = JobRecord {
             id,
@@ -171,7 +184,7 @@ impl JobTable {
         &self,
         id: JobId,
         timeout_ms: u64,
-    ) -> Option<(ExperimentJob, Arc<AtomicBool>, Arc<AtomicBool>)> {
+    ) -> Option<(JobPayload, Arc<AtomicBool>, Arc<AtomicBool>)> {
         let mut jobs = self.lock();
         let record = jobs.get_mut(&id)?;
         if record.state != JobState::Queued {
@@ -303,13 +316,15 @@ mod tests {
     use sensorwise::experiment::SyntheticScenario;
     use sensorwise::PolicyKind;
 
-    fn job() -> ExperimentJob {
-        SyntheticScenario {
-            cores: 4,
-            vcs: 2,
-            injection_rate: 0.1,
-        }
-        .job(PolicyKind::SensorWise, 100, 1_000)
+    fn job() -> JobPayload {
+        JobPayload::Experiment(Box::new(
+            SyntheticScenario {
+                cores: 4,
+                vcs: 2,
+                injection_rate: 0.1,
+            }
+            .job(PolicyKind::SensorWise, 100, 1_000),
+        ))
     }
 
     #[test]
@@ -320,7 +335,10 @@ mod tests {
         assert!(table.status_json(id).unwrap().contains("\"queued\""));
         let (j, cancel, _) = table.claim(id, 0).expect("queued job claims");
         assert!(!cancel.load(Ordering::Relaxed));
-        assert_eq!(j.cfg.measure_cycles, 1_000);
+        match j {
+            JobPayload::Experiment(j) => assert_eq!(j.cfg.measure_cycles, 1_000),
+            JobPayload::Epoch(_) => panic!("expected an experiment payload"),
+        }
         assert!(table.claim(id, 0).is_none(), "cannot claim twice");
         table.finish(id, JobState::Done, Some("{}".to_string()), Some(7), None);
         let status = table.status_json(id).unwrap();

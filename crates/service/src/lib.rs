@@ -45,7 +45,7 @@ pub mod metrics;
 pub mod queue;
 pub mod server;
 
-pub use client::{JobStatus, ServiceClient, Submitted};
+pub use client::{deterministic_backoff_ms, JobStatus, ServiceClient, Submitted};
 pub use jobs::{JobCounts, JobId, JobState};
 pub use metrics::{Endpoint, GaugeView, MetricsRegistry};
 pub use queue::{BoundedQueue, PushError};

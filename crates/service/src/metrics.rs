@@ -85,6 +85,8 @@ impl AtomicHistogram {
 pub enum Endpoint {
     /// `POST /jobs`
     Submit,
+    /// `POST /jobs/batch`
+    Batch,
     /// `GET /jobs/{id}`
     Status,
     /// `GET /jobs/{id}/result`
@@ -103,12 +105,13 @@ pub enum Endpoint {
 
 impl Endpoint {
     /// Number of endpoint classes.
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 9;
 
     /// The `endpoint` label value.
     pub fn label(self) -> &'static str {
         match self {
             Endpoint::Submit => "submit",
+            Endpoint::Batch => "batch",
             Endpoint::Status => "status",
             Endpoint::Result => "result",
             Endpoint::Cancel => "cancel",
@@ -122,6 +125,7 @@ impl Endpoint {
     /// Every class, in exposition order.
     pub const ALL: [Endpoint; Endpoint::COUNT] = [
         Endpoint::Submit,
+        Endpoint::Batch,
         Endpoint::Status,
         Endpoint::Result,
         Endpoint::Cancel,
@@ -136,6 +140,7 @@ impl Endpoint {
         let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
         match (method, segments.as_slice()) {
             ("POST", ["jobs"]) => Endpoint::Submit,
+            ("POST", ["jobs", "batch"]) => Endpoint::Batch,
             ("GET", ["jobs", _]) => Endpoint::Status,
             ("GET", ["jobs", _, "result"]) => Endpoint::Result,
             ("DELETE", ["jobs", _]) => Endpoint::Cancel,

@@ -23,12 +23,12 @@
 
 use crate::clock;
 use crate::http::{read_request, write_response, Request};
-use crate::jobs::{JobCounts, JobState, JobTable};
+use crate::jobs::{JobCounts, JobPayload, JobState, JobTable};
 use crate::metrics::{Endpoint, GaugeView, MetricsRegistry};
 use crate::queue::{BoundedQueue, PushError};
 use noc_telemetry::spans::{derive_id, FlightRecorder, Span, SpanKind, NO_PARENT};
 use sensorwise::codec::{json_string, result_to_json, spec_from_json, spec_to_json, JsonValue};
-use sensorwise::ResultCache;
+use sensorwise::{is_epoch_request, EpochError, ResultCache, WireEpochOutcome, WireEpochRequest};
 use std::fmt;
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -332,6 +332,46 @@ fn initiate_shutdown(shared: &Shared, force: bool) {
     shared.queue.close();
 }
 
+/// What a successfully executed payload hands back to the worker loop.
+struct JobSuccess {
+    /// The result JSON served by `GET /jobs/{id}/result`.
+    json: String,
+    /// The event-stream digest, when the run was traced.
+    digest: Option<u64>,
+    /// For experiment payloads, the typed result for the cache write-back;
+    /// epoch outcomes are written back as raw JSON instead.
+    wire: Option<sensorwise::WireResult>,
+}
+
+/// Runs one payload to a `Ok(Some)` success / `Ok(None)` abort /
+/// `Err(msg)` typed-failure trichotomy shared by both payload kinds.
+fn run_payload(
+    payload: &JobPayload,
+    cancel: &AtomicBool,
+) -> Result<Option<JobSuccess>, String> {
+    match payload {
+        JobPayload::Experiment(job) => Ok(job.run_cancellable(cancel).map(|result| JobSuccess {
+            json: result_to_json(&result),
+            digest: result.trace_digest(),
+            wire: Some(sensorwise::WireResult::from(&result)),
+        })),
+        JobPayload::Epoch(req) => match req.run_cancellable(cancel) {
+            Ok(outcome) => {
+                let wire = WireEpochOutcome::from(&outcome);
+                Ok(Some(JobSuccess {
+                    json: wire.to_json(),
+                    digest: wire.result.trace_digest,
+                    wire: None,
+                }))
+            }
+            Err(EpochError::Cancelled) => Ok(None),
+            // Drain timeouts, snapshot rejections, unsupported sensors:
+            // typed failures of the epoch itself, not worker crashes.
+            Err(e) => Err(e.to_string()),
+        },
+    }
+}
+
 fn worker_loop(shared: &Shared) {
     while let Some(id) = shared.queue.pop() {
         // A force shutdown may have raced this pop: claim() refuses
@@ -342,24 +382,28 @@ fn worker_loop(shared: &Shared) {
         let submitted_at = shared.table.with(id, |r| r.submitted_at);
         let exp_start_us = shared.span_clock_us();
         let t_run = clock::now();
-        let outcome = catch_unwind(AssertUnwindSafe(|| job.run_cancellable(&cancel)));
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_payload(&job, &cancel)));
         let busy_us = clock::micros_since(t_run);
         shared.metrics.add_worker_busy_us(busy_us);
         record_job_spans(shared, id, submitted_at, exp_start_us, busy_us);
         match outcome {
-            Ok(Some(result)) => {
-                let digest = result.trace_digest();
-                let json = result_to_json(&result);
+            Ok(Ok(Some(success))) => {
                 if let Some(cache) = &shared.cache {
                     if let Some(spec) = shared.table.with(id, |r| r.spec_json.clone()) {
-                        cache.0.put(&spec, &sensorwise::WireResult::from(&result));
+                        match &success.wire {
+                            Some(wire) => cache.0.put(&spec, wire),
+                            // Epoch outcomes: the shared result plane
+                            // files the raw canonical JSON, which is how
+                            // remote campaign front ends pick them up.
+                            None => cache.0.put_json(&spec, &success.json),
+                        }
                     }
                 }
                 shared
                     .table
-                    .finish(id, JobState::Done, Some(json), digest, None);
+                    .finish(id, JobState::Done, Some(success.json), success.digest, None);
             }
-            Ok(None) => {
+            Ok(Ok(None)) => {
                 let state = if timed_out.load(Ordering::Relaxed) {
                     JobState::TimedOut
                 } else {
@@ -369,6 +413,12 @@ fn worker_loop(shared: &Shared) {
                 if state == JobState::TimedOut {
                     shared.dump_spans();
                 }
+            }
+            Ok(Err(msg)) => {
+                shared
+                    .table
+                    .finish(id, JobState::Failed, None, None, Some(msg));
+                shared.dump_spans();
             }
             Err(panic) => {
                 let msg = panic
@@ -482,6 +532,7 @@ fn route(req: &Request, shared: &Shared) -> Routed {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segments.as_slice()) {
         ("POST", ["jobs"]) => submit(req, shared),
+        ("POST", ["jobs", "batch"]) => submit_batch(req, shared),
         ("GET", ["jobs", id]) => with_id(id, |id| status(id, shared)),
         ("GET", ["jobs", id, "result"]) => with_id(id, |id| result(id, shared)),
         ("DELETE", ["jobs", id]) => with_id(id, |id| cancel(id, shared)),
@@ -507,64 +558,238 @@ fn with_id(raw: &str, f: impl FnOnce(u64) -> Routed) -> Routed {
     }
 }
 
-fn submit(req: &Request, shared: &Shared) -> Routed {
-    if !shared.accepting.load(Ordering::SeqCst) {
-        return plain(503, "{\"error\":\"server is shutting down\"}".to_string());
+/// Decodes a submission body into a runnable payload plus its canonical
+/// spec JSON. Bodies carrying the `"kind":"epoch"` marker are campaign
+/// epochs; everything else is a standalone experiment spec. Re-encoding
+/// makes the stored spec canonical regardless of client formatting.
+fn parse_submission(body: &str) -> Result<(JobPayload, String), String> {
+    if is_epoch_request(body) {
+        let req = WireEpochRequest::from_json(body).map_err(|e| e.to_string())?;
+        let canonical = req.to_json().map_err(|e| e.to_string())?;
+        Ok((JobPayload::Epoch(Box::new(req)), canonical))
+    } else {
+        let job = spec_from_json(body).map_err(|e| e.to_string())?;
+        let canonical = spec_to_json(&job).map_err(|e| e.to_string())?;
+        Ok((JobPayload::Experiment(Box::new(job)), canonical))
     }
-    let job = match spec_from_json(&req.body) {
-        Ok(job) => job,
-        Err(e) => {
-            return plain(400, format!("{{\"error\":{}}}", json_string(&e.to_string())));
-        }
+}
+
+/// Cache fast path: a memoized spec is answered terminally at accept time
+/// — the job record exists (status/result polls work as usual) but no
+/// queue slot or worker is ever consumed. Returns the job id on a hit, or
+/// hands the payload back on a miss. A stored entry that fails to decode
+/// for its payload kind is a miss, never a wrong answer.
+fn answer_from_cache(
+    payload: JobPayload,
+    canonical: &str,
+    shared: &Shared,
+) -> Result<u64, JobPayload> {
+    let Some(cache) = &shared.cache else {
+        return Err(payload);
     };
-    // Re-encode so the stored spec is canonical regardless of client
-    // formatting; encoding a just-decoded spec cannot fail.
-    let canonical = match spec_to_json(&job) {
-        Ok(s) => s,
-        Err(e) => {
-            return plain(400, format!("{{\"error\":{}}}", json_string(&e.to_string())));
-        }
+    let hit = match &payload {
+        JobPayload::Experiment(_) => cache
+            .0
+            .get(canonical)
+            .map(|wire| (wire.trace_digest, wire.to_json())),
+        JobPayload::Epoch(_) => cache.0.get_json(canonical).and_then(|json| {
+            WireEpochOutcome::from_json(&json)
+                .ok()
+                .map(|o| (o.result.trace_digest, json))
+        }),
     };
-    // Cache fast path: a memoized spec is answered terminally at accept
-    // time — the job record exists (status/result polls work as usual)
-    // but no queue slot or worker is ever consumed.
-    if let Some(cache) = &shared.cache {
-        if let Some(wire) = cache.0.get(&canonical) {
-            let id = shared.table.insert(job, canonical);
+    match hit {
+        Some((digest, json)) => {
+            let id = shared.table.insert(payload, canonical.to_string());
             shared.metrics.inc_accepted();
             shared.metrics.inc_cache_hit();
-            let digest = wire.trace_digest;
-            shared
-                .table
-                .finish(id, JobState::Done, Some(wire.to_json()), digest, None);
-            return plain(
-                202,
-                format!("{{\"id\":{id},\"status\":\"done\",\"cached\":true}}"),
-            );
+            shared.table.finish(id, JobState::Done, Some(json), digest, None);
+            Ok(id)
         }
-        shared.metrics.inc_cache_miss();
+        None => {
+            shared.metrics.inc_cache_miss();
+            Err(payload)
+        }
     }
-    let id = shared.table.insert(job, canonical);
+}
+
+/// Outcome of trying to enqueue one parsed, cache-missed submission.
+enum Enqueued {
+    /// Accepted; the id is queued for a worker.
+    Queued(u64),
+    /// The queue is full: `429`.
+    Busy,
+    /// The queue closed under the submission: `503`.
+    Closed,
+}
+
+fn enqueue_one(payload: JobPayload, canonical: String, shared: &Shared) -> Enqueued {
+    let id = shared.table.insert(payload, canonical);
     match shared.queue.try_push(id) {
         Ok(()) => {
             shared.metrics.inc_accepted();
-            plain(202, format!("{{\"id\":{id},\"status\":\"queued\"}}"))
+            Enqueued::Queued(id)
         }
         Err(PushError::Full) => {
             shared.table.forget(id);
             shared.metrics.inc_rejected_busy();
-            (
-                429,
-                "application/json",
-                vec![("Retry-After", RETRY_AFTER_SECS.to_string())],
-                "{\"error\":\"queue full, retry later\"}".to_string(),
-            )
+            Enqueued::Busy
         }
         Err(PushError::Closed) => {
             shared.table.forget(id);
-            plain(503, "{\"error\":\"server is shutting down\"}".to_string())
+            Enqueued::Closed
         }
     }
+}
+
+fn submit(req: &Request, shared: &Shared) -> Routed {
+    if !shared.accepting.load(Ordering::SeqCst) {
+        return plain(503, "{\"error\":\"server is shutting down\"}".to_string());
+    }
+    let (payload, canonical) = match parse_submission(&req.body) {
+        Ok(parsed) => parsed,
+        Err(e) => return plain(400, format!("{{\"error\":{}}}", json_string(&e))),
+    };
+    let payload = match answer_from_cache(payload, &canonical, shared) {
+        Ok(id) => {
+            return plain(
+                202,
+                format!("{{\"id\":{id},\"status\":\"done\",\"cached\":true}}"),
+            )
+        }
+        Err(payload) => payload,
+    };
+    match enqueue_one(payload, canonical, shared) {
+        Enqueued::Queued(id) => plain(202, format!("{{\"id\":{id},\"status\":\"queued\"}}")),
+        Enqueued::Busy => (
+            429,
+            "application/json",
+            vec![("Retry-After", RETRY_AFTER_SECS.to_string())],
+            "{\"error\":\"queue full, retry later\"}".to_string(),
+        ),
+        Enqueued::Closed => plain(503, "{\"error\":\"server is shutting down\"}".to_string()),
+    }
+}
+
+/// Serializes a parsed [`JsonValue`] back to compact JSON text, preserving
+/// number raw text and insertion order (used to hand batch items to the
+/// same decode path single submissions take).
+fn render_json(v: &JsonValue) -> String {
+    match v {
+        JsonValue::Null => "null".to_string(),
+        JsonValue::Bool(b) => b.to_string(),
+        JsonValue::Num(raw) => raw.clone(),
+        JsonValue::Str(s) => json_string(s),
+        JsonValue::Arr(items) => {
+            let mut out = String::from("[");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&render_json(item));
+            }
+            out.push(']');
+            out
+        }
+        JsonValue::Obj(pairs) => {
+            let mut out = String::from("{");
+            for (i, (k, val)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&json_string(k));
+                out.push(':');
+                out.push_str(&render_json(val));
+            }
+            out.push('}');
+            out
+        }
+    }
+}
+
+/// `POST /jobs/batch`: an array of specs accepted in one request. The body
+/// is `{"jobs":[...]}` where each item is either a spec object or a string
+/// containing spec JSON (epoch requests welcome in both forms). Queue
+/// capacity is reserved in **one pass**: the free slots are snapshotted
+/// once, cache hits consume none, and items beyond the snapshot are
+/// answered busy per-item without racing the queue. The response is `200`
+/// with per-item `202`/`429` codes mirroring what individual submissions
+/// would have received.
+fn submit_batch(req: &Request, shared: &Shared) -> Routed {
+    if !shared.accepting.load(Ordering::SeqCst) {
+        return plain(503, "{\"error\":\"server is shutting down\"}".to_string());
+    }
+    let root = match JsonValue::parse(&req.body) {
+        Ok(v) => v,
+        Err(e) => return plain(400, format!("{{\"error\":{}}}", json_string(&e.to_string()))),
+    };
+    let Some(items) = root.get("jobs").and_then(JsonValue::as_arr) else {
+        return plain(
+            400,
+            "{\"error\":\"batch body must be {\\\"jobs\\\":[...]}\"}".to_string(),
+        );
+    };
+    // The one reservation pass: snapshot free capacity now; every queued
+    // acceptance below spends from this budget.
+    let mut slots = shared
+        .queue
+        .capacity()
+        .saturating_sub(shared.queue.len());
+    let (mut accepted, mut cached, mut busy, mut errors) = (0u64, 0u64, 0u64, 0u64);
+    let mut rows = Vec::with_capacity(items.len());
+    for item in items {
+        let spec_text = match item {
+            JsonValue::Str(s) => s.clone(),
+            other => render_json(other),
+        };
+        let (payload, canonical) = match parse_submission(&spec_text) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                errors += 1;
+                rows.push(format!("{{\"code\":400,\"error\":{}}}", json_string(&e)));
+                continue;
+            }
+        };
+        let payload = match answer_from_cache(payload, &canonical, shared) {
+            Ok(id) => {
+                cached += 1;
+                rows.push(format!(
+                    "{{\"code\":202,\"id\":{id},\"status\":\"done\",\"cached\":true}}"
+                ));
+                continue;
+            }
+            Err(payload) => payload,
+        };
+        if slots == 0 {
+            busy += 1;
+            shared.metrics.inc_rejected_busy();
+            rows.push("{\"code\":429,\"status\":\"busy\",\"retry_after\":1}".to_string());
+            continue;
+        }
+        match enqueue_one(payload, canonical, shared) {
+            Enqueued::Queued(id) => {
+                slots -= 1;
+                accepted += 1;
+                rows.push(format!("{{\"code\":202,\"id\":{id},\"status\":\"queued\"}}"));
+            }
+            Enqueued::Busy => {
+                // The snapshot raced another submitter; same answer a
+                // single submission would get.
+                slots = 0;
+                busy += 1;
+                rows.push("{\"code\":429,\"status\":\"busy\",\"retry_after\":1}".to_string());
+            }
+            Enqueued::Closed => {
+                rows.push("{\"code\":503,\"status\":\"shutting_down\"}".to_string());
+            }
+        }
+    }
+    let body = format!(
+        "{{\"accepted\":{accepted},\"cached\":{cached},\"busy\":{busy},\"errors\":{errors},\
+         \"items\":[{}]}}",
+        rows.join(",")
+    );
+    plain(200, body)
 }
 
 fn status(id: u64, shared: &Shared) -> Routed {

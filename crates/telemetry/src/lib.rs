@@ -65,5 +65,5 @@ pub use event::{read_jsonl, EventKind, ParseError, PortCode, TraceEvent};
 pub use profile::{Histogram, NullProfiler, ProfileReport, Profiler, Stage, StageProfiler};
 pub use series::{MetricsSeries, Sample};
 pub use sink::{EventLog, JsonlSink, NullSink, RecordSink, TraceSink};
-pub use spans::{derive_id, read_spans_jsonl, FlightRecorder, Span, SpanKind, NO_PARENT};
+pub use spans::{derive_id, read_spans_jsonl, FlightRecorder, Span, SpanKind, SpanLog, NO_PARENT};
 pub use spec::{TelemetryReport, TelemetrySpec};

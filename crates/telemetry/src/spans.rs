@@ -35,6 +35,11 @@ pub enum SpanKind {
     Experiment,
     /// One campaign epoch.
     Epoch,
+    /// One remote dispatch attempt: submit → serve → result fetch.
+    Dispatch,
+    /// One epoch integration step: ledger aging + checkpoint bookkeeping
+    /// after an epoch outcome arrives.
+    Integrate,
 }
 
 impl SpanKind {
@@ -46,6 +51,8 @@ impl SpanKind {
             SpanKind::Job => "job",
             SpanKind::Experiment => "experiment",
             SpanKind::Epoch => "epoch",
+            SpanKind::Dispatch => "dispatch",
+            SpanKind::Integrate => "integrate",
         }
     }
 
@@ -55,6 +62,8 @@ impl SpanKind {
             "job" => SpanKind::Job,
             "experiment" => SpanKind::Experiment,
             "epoch" => SpanKind::Epoch,
+            "dispatch" => SpanKind::Dispatch,
+            "integrate" => SpanKind::Integrate,
             other => return Err(ParseError::new(format!("unknown span kind `{other}`"))),
         })
     }
@@ -237,6 +246,78 @@ impl FlightRecorder {
             span.write_jsonl(&mut out);
         }
         out
+    }
+}
+
+/// A span collector for front ends that time work against one process
+/// anchor: the distributed campaign driver records dispatch attempts and
+/// integration steps here, then drains them into its spans sidecar.
+///
+/// All timestamps come from [`profclock`](crate::profclock) relative to
+/// the anchor taken at construction, so the log never touches the clock
+/// boundary itself and can live in determinism-audited crates.
+#[derive(Debug)]
+pub struct SpanLog {
+    anchor: std::time::Instant,
+    spans: Mutex<Vec<Span>>,
+}
+
+impl Default for SpanLog {
+    fn default() -> Self {
+        SpanLog::new()
+    }
+}
+
+impl SpanLog {
+    /// A new log anchored at "now".
+    #[must_use]
+    pub fn new() -> Self {
+        SpanLog {
+            anchor: crate::profclock::now(),
+            spans: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Microseconds since the log's anchor — use as `start_us` for spans
+    /// recorded here.
+    #[must_use]
+    pub fn now_us(&self) -> u64 {
+        crate::profclock::us_since(self.anchor)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<Span>> {
+        match self.spans.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Records a span that started at `start_us` (from [`SpanLog::now_us`])
+    /// and just ended; returns its derived id so children can link to it.
+    pub fn record(&self, kind: SpanKind, name: &str, parent: u64, start_us: u64) -> u64 {
+        let dur_us = self.now_us().saturating_sub(start_us);
+        let span = Span::new(kind, name, parent, start_us, dur_us);
+        let id = span.id;
+        self.lock().push(span);
+        id
+    }
+
+    /// Takes every recorded span in record order, leaving the log empty.
+    #[must_use]
+    pub fn drain(&self) -> Vec<Span> {
+        std::mem::take(&mut *self.lock())
+    }
+
+    /// Number of spans currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the log is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
     }
 }
 

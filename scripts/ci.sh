@@ -103,7 +103,7 @@ verifydir=""
 # Telemetry smoke: a traced run must produce a parseable event trace and a
 # non-empty metrics series, and `stats` must re-derive a digest from it.
 teldir=$(mktemp -d)
-trap 'rm -rf "$teldir" "${verifydir:-}" "${servedir:-}" "${campdir:-}" "${wldir:-}"; [ -n "${serve_pid:-}" ] && kill "$serve_pid" 2>/dev/null || true; [ -n "${camp_pid:-}" ] && kill "$camp_pid" 2>/dev/null || true' EXIT
+trap 'rm -rf "$teldir" "${verifydir:-}" "${servedir:-}" "${campdir:-}" "${remotedir:-}" "${wldir:-}"; for p in "${serve_pid:-}" "${camp_pid:-}" "${rw1_pid:-}" "${rw2_pid:-}" "${rfront_pid:-}"; do [ -n "$p" ] && kill "$p" 2>/dev/null || true; done' EXIT
 ./target/release/nbti-noc run --cores 4 --vcs 2 --rate 0.1 --policy sw \
     --warmup 200 --measure 2000 \
     --trace-out "$teldir/events.jsonl" --metrics-out "$teldir/metrics.csv" \
@@ -268,6 +268,67 @@ resumed=$(sed -n 's/^chained digest: //p' "$campdir/resumed.log")
     exit 1
 }
 rm -rf "$campdir"
+campdir=""
+
+# Distributed campaign smoke: two workers sharing a result store, a remote
+# 4-epoch campaign, SIGKILL of one worker AND the front end mid-flight,
+# then `campaign resume` against the survivor — the final chained digest
+# must match a single-process run of the same spec bit for bit.
+remotedir=$(mktemp -d)
+./target/release/nbti-noc campaign run --checkpoint "$remotedir/local.ckpt" \
+    --epochs 4 --warmup 300 --measure 20000 > "$remotedir/local.log" 2>&1
+local_digest=$(sed -n 's/^chained digest: //p' "$remotedir/local.log")
+[ -n "$local_digest" ] || { echo "ci: local reference campaign reported no digest" >&2; exit 1; }
+./target/release/nbti-noc serve --addr 127.0.0.1:0 --workers 2 \
+    --cache-dir "$remotedir/store" > "$remotedir/w1.log" 2>&1 &
+rw1_pid=$!
+./target/release/nbti-noc serve --addr 127.0.0.1:0 --workers 2 \
+    --cache-dir "$remotedir/store" > "$remotedir/w2.log" 2>&1 &
+rw2_pid=$!
+rw1_addr=""; rw2_addr=""
+for _ in $(seq 1 50); do
+    rw1_addr=$(sed -n 's/^listening on //p' "$remotedir/w1.log")
+    rw2_addr=$(sed -n 's/^listening on //p' "$remotedir/w2.log")
+    [ -n "$rw1_addr" ] && [ -n "$rw2_addr" ] && break
+    sleep 0.1
+done
+[ -n "$rw1_addr" ] && [ -n "$rw2_addr" ] || {
+    echo "ci: remote-campaign workers never reported their addresses" >&2
+    exit 1
+}
+./target/release/nbti-noc campaign run --checkpoint "$remotedir/remote.ckpt" \
+    --epochs 4 --warmup 300 --measure 20000 \
+    --store "$remotedir/store" --remote "$rw1_addr,$rw2_addr" --retries 3 \
+    > "$remotedir/front.log" 2>&1 &
+rfront_pid=$!
+for _ in $(seq 1 200); do
+    [ -s "$remotedir/remote.ckpt" ] && break
+    sleep 0.02
+done
+[ -s "$remotedir/remote.ckpt" ] || {
+    echo "ci: remote campaign wrote no checkpoint before the kill" >&2
+    exit 1
+}
+kill -9 "$rw1_pid" "$rfront_pid" 2>/dev/null || true
+wait "$rfront_pid" 2>/dev/null || true
+rw1_pid=""; rfront_pid=""
+./target/release/nbti-noc campaign resume --checkpoint "$remotedir/remote.ckpt" \
+    --store "$remotedir/store" --remote "$rw2_addr" --retries 3 \
+    > "$remotedir/resumed.log" 2>&1 || {
+    cat "$remotedir/resumed.log" >&2
+    echo "ci: remote campaign resume failed" >&2
+    exit 1
+}
+remote_digest=$(sed -n 's/^chained digest: //p' "$remotedir/resumed.log")
+[ "$local_digest" = "$remote_digest" ] || {
+    echo "ci: remote campaign digest $remote_digest != local $local_digest" >&2
+    exit 1
+}
+curl -sf -X POST "http://$rw2_addr/shutdown" > /dev/null || true
+wait "$rw2_pid" 2>/dev/null || true
+rw2_pid=""
+rm -rf "$remotedir"
+remotedir=""
 
 # Bench trajectories: the serving and campaign benches must run clean and
 # append to their BENCH_*.json files (small configurations — this gates
@@ -276,6 +337,12 @@ cargo run -q --release --offline -p nbti-noc-bench --bin service_throughput -- \
     --count 8 --measure 1000 > /dev/null
 cargo run -q --release --offline -p nbti-noc-bench --bin campaign_epochs -- \
     --epochs 4 --measure 1500 --warmup 300 > /dev/null
+cargo run -q --release --offline -p nbti-noc-bench --bin campaign_remote -- \
+    --epochs 4 --measure 1500 --warmup 300 > /dev/null
+grep -q '"mode":"remote".*"dispatch_p50_us":' BENCH_campaign.json || {
+    echo "ci: campaign_remote did not append a remote-mode entry" >&2
+    exit 1
+}
 cargo run -q --release --offline -p nbti-noc-bench --bin verify_throughput -- \
     --symmetry-only > /dev/null
 cargo run -q --release --offline -p nbti-noc-bench --bin analyze_throughput -- \

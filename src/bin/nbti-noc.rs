@@ -5,7 +5,8 @@
 //!                 [--topology mesh|torus|ring|irregular] [--edges "a-b,c-d"]
 //!                 [--mix KIND | --trace-in FILE] [--len L] [--seed N] [--digest]
 //!                 [--trace-out FILE] [--metrics-out FILE] [--sample-period N] [--profile]
-//! nbti-noc sweep  [--cores N] [--vcs V] [--warmup N] [--measure N]
+//! nbti-noc sweep  [--cores N] [--vcs V] [--warmup N] [--measure N] [--store DIR]
+//!                 [--remote addr1,addr2 --retries N]
 //! nbti-noc record --out FILE [--cores N] [--rate R] [--cycles N] [--seed N]
 //! nbti-noc replay --trace FILE [--cores N] [--vcs V] [--policy P]
 //!                 [--trace-out FILE] [--metrics-out FILE] [--sample-period N]
@@ -20,11 +21,13 @@
 //!                 [--spans-out FILE]
 //! nbti-noc spans  FILE [--json]
 //! nbti-noc submit [--addr A] [--count N] [--concurrency N] [--cores N] [--vcs V]
-//!                 [--rate R] [--policy P] [--warmup N] [--measure N] [--seed N] [--shutdown]
+//!                 [--rate R] [--policy P] [--warmup N] [--measure N] [--seed N]
+//!                 [--batch] [--shutdown]
 //! nbti-noc campaign run    --checkpoint FILE [--epochs N] [--age-acceleration F] [--drain-limit N]
 //!                          [--cores N] [--vcs V] [--rate R] [--policy P] [--warmup N] [--measure N]
 //!                          [--seed N] [--pv-seed N] [--store DIR]
-//! nbti-noc campaign resume --checkpoint FILE [--store DIR]
+//!                          [--remote addr1,addr2 --retries N]
+//! nbti-noc campaign resume --checkpoint FILE [--store DIR] [--remote addr1,addr2 --retries N]
 //! nbti-noc campaign status --checkpoint FILE
 //! nbti-noc cache stats --dir DIR
 //! nbti-noc cache gc    --dir DIR --keep N
@@ -502,17 +505,49 @@ fn cmd_submit(args: &Args) -> Result<(), String> {
         .map(|j| sensorwise::spec_to_json(j).map_err(|e| e.to_string()))
         .collect::<Result<_, _>>()?;
 
-    eprintln!(
-        "submitting {count} jobs to {addr} ({concurrency} concurrent submitters)..."
-    );
     let client = noc_service::ServiceClient::new(addr.clone());
     let started = noc_service::clock::now();
-    let outcomes = parallel_map(&specs, concurrency, |_, spec| {
-        let c = client.clone();
-        let (id, busy, latencies) = c.submit_with_retry(spec, 200)?;
-        let result = c.wait_result(id, 20, 3_000)?;
-        Ok::<_, String>((id, busy, latencies, result))
-    });
+    let outcomes = if args.has("batch") {
+        // One `POST /jobs/batch`: the server reserves queue slots in a
+        // single pass, answering 202/429 per item. Items bounced with
+        // 429 fall back to the retrying single-submit path.
+        eprintln!("submitting {count} jobs to {addr} in one batch request...");
+        let rows = client.submit_batch(&specs)?;
+        if rows.len() != specs.len() {
+            return Err(format!(
+                "batch answered {} items for {} jobs",
+                rows.len(),
+                specs.len()
+            ));
+        }
+        let indexed: Vec<(usize, noc_service::Submitted)> =
+            rows.into_iter().enumerate().collect();
+        parallel_map(&indexed, concurrency, |_, (i, row)| {
+            let c = client.clone();
+            let (id, busy) = match row {
+                noc_service::Submitted::Accepted { id } => (*id, 0u32),
+                noc_service::Submitted::Busy { .. } => {
+                    let (id, busy, _) = c.submit_with_retry(&specs[*i], 200)?;
+                    (id, busy + 1)
+                }
+                noc_service::Submitted::Refused { status, error } => {
+                    return Err(format!("job {i} refused ({status}): {error}"));
+                }
+            };
+            let result = c.wait_result(id, 20, 3_000)?;
+            Ok::<_, String>((id, busy, Vec::new(), result))
+        })
+    } else {
+        eprintln!(
+            "submitting {count} jobs to {addr} ({concurrency} concurrent submitters)..."
+        );
+        parallel_map(&specs, concurrency, |_, spec| {
+            let c = client.clone();
+            let (id, busy, latencies) = c.submit_with_retry(spec, 200)?;
+            let result = c.wait_result(id, 20, 3_000)?;
+            Ok::<_, String>((id, busy, latencies, result))
+        })
+    };
     let elapsed_ms = noc_service::clock::millis_since(started).max(1);
 
     let mut latencies: Vec<u64> = Vec::new();
@@ -550,11 +585,13 @@ fn cmd_submit(args: &Args) -> Result<(), String> {
         "{count} jobs in {elapsed_ms} ms ({jobs_per_sec:.1} jobs/s), {} submit requests ({busy_total} retried on 429)",
         latencies.len()
     );
-    println!(
-        "submit latency: p50 {} ms p99 {} ms",
-        percentile(&latencies, 0.5),
-        percentile(&latencies, 0.99)
-    );
+    if !latencies.is_empty() {
+        println!(
+            "submit latency: p50 {} ms p99 {} ms",
+            percentile(&latencies, 0.5),
+            percentile(&latencies, 0.99)
+        );
+    }
     if args.has("shutdown") {
         client.shutdown(false)?;
         eprintln!("requested graceful shutdown of {addr}");
@@ -594,58 +631,79 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
         })
         .collect();
 
-    // `(rr_md_duty, sw_md_duty, invariant_violations)` per rate, either
-    // computed fresh or served from a content-addressed `--store`.
+    // `(rr_md_duty, sw_md_duty, invariant_violations)` per rate: computed
+    // fresh, served from a content-addressed `--store`, or run as served
+    // jobs on a `--remote` worker pool (per-point batch dispatch; the
+    // workers' shared `--cache-dir` memoizes repeats).
     let sampled = PortId::router_input(NodeId(0), Direction::East).to_string();
-    let rows: Vec<(f64, f64, u64)> = match args.flags.get("store") {
-        Some(dir) => {
-            let store =
-                noc_campaign::FsResultStore::open(dir).map_err(|e| e.to_string())?;
-            let outcome = sensorwise::run_batch_cached(&batch, jobs, &store)
-                .map_err(|e| e.to_string())?;
-            eprintln!(
-                "result store {dir}: {} hits, {} misses",
-                outcome.hits, outcome.misses
-            );
-            let md_duty = |r: &sensorwise::WireResult| -> Result<f64, String> {
-                let row = r
-                    .ports
-                    .iter()
-                    .find(|p| p.port == sampled)
-                    .ok_or_else(|| format!("cached result lacks port {sampled}"))?;
-                row.duty_percent
-                    .get(row.md_vc)
-                    .copied()
-                    .ok_or_else(|| format!("cached result has no duty for VC {}", row.md_vc))
-            };
-            outcome
-                .results
-                .chunks_exact(2)
-                .map(|pair| {
-                    Ok((
-                        md_duty(&pair[0])?,
-                        md_duty(&pair[1])?,
-                        pair[0].invariant_violations + pair[1].invariant_violations,
-                    ))
-                })
-                .collect::<Result<_, String>>()?
+    let md_duty = |r: &sensorwise::WireResult| -> Result<f64, String> {
+        let row = r
+            .ports
+            .iter()
+            .find(|p| p.port == sampled)
+            .ok_or_else(|| format!("served result lacks port {sampled}"))?;
+        row.duty_percent
+            .get(row.md_vc)
+            .copied()
+            .ok_or_else(|| format!("served result has no duty for VC {}", row.md_vc))
+    };
+    let wire_rows = |results: &[sensorwise::WireResult]| -> Result<Vec<(f64, f64, u64)>, String> {
+        results
+            .chunks_exact(2)
+            .map(|pair| {
+                Ok((
+                    md_duty(&pair[0])?,
+                    md_duty(&pair[1])?,
+                    pair[0].invariant_violations + pair[1].invariant_violations,
+                ))
+            })
+            .collect()
+    };
+    let rows: Vec<(f64, f64, u64)> = if let Some(list) = args.flags.get("remote") {
+        let addrs: Vec<String> = list
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect();
+        let pool = noc_campaign::WorkerPool::new(&addrs).map_err(|e| e.to_string())?;
+        let retries = args.get("retries", 2u32)?;
+        let specs: Vec<String> = batch
+            .iter()
+            .map(|j| sensorwise::spec_to_json(j).map_err(|e| e.to_string()))
+            .collect::<Result<_, _>>()?;
+        eprintln!(
+            "dispatching {} sweep points to {} worker(s)...",
+            specs.len(),
+            pool.len()
+        );
+        let results = noc_campaign::run_batch_remote(&pool, &specs, retries, 10, 60_000)
+            .map_err(|e| e.to_string())?;
+        wire_rows(&results)?
+    } else if let Some(dir) = args.flags.get("store") {
+        let store = noc_campaign::FsResultStore::open(dir).map_err(|e| e.to_string())?;
+        let outcome =
+            sensorwise::run_batch_cached(&batch, jobs, &store).map_err(|e| e.to_string())?;
+        eprintln!(
+            "result store {dir}: {} hits, {} misses",
+            outcome.hits, outcome.misses
+        );
+        wire_rows(&outcome.results)?
+    } else {
+        let results = run_batch(&batch, jobs);
+        for r in &results {
+            report_invariants(r)?;
         }
-        None => {
-            let results = run_batch(&batch, jobs);
-            for r in &results {
-                report_invariants(r)?;
-            }
-            results
-                .chunks_exact(2)
-                .map(|pair| {
-                    (
-                        pair[0].east_input(NodeId(0)).md_duty(),
-                        pair[1].east_input(NodeId(0)).md_duty(),
-                        0,
-                    )
-                })
-                .collect()
-        }
+        results
+            .chunks_exact(2)
+            .map(|pair| {
+                (
+                    pair[0].east_input(NodeId(0)).md_duty(),
+                    pair[1].east_input(NodeId(0)).md_duty(),
+                    0,
+                )
+            })
+            .collect()
     };
 
     if json {
@@ -918,6 +976,25 @@ fn open_optional_store(args: &Args) -> Result<Option<noc_campaign::FsResultStore
     }
 }
 
+/// Builds the remote executor named by `--remote addr1,addr2,...` (with
+/// `--retries N` reassignments per epoch), when the flag is present. The
+/// workers must share the `--store` directory as their `--cache-dir`:
+/// the store is the result plane the campaign recovers from after kills.
+fn open_optional_remote(args: &Args) -> Result<Option<noc_campaign::RemoteExecutor>, String> {
+    let Some(list) = args.flags.get("remote") else {
+        return Ok(None);
+    };
+    let addrs: Vec<String> = list
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    let retries = args.get("retries", 2u32)?;
+    let pool = noc_campaign::WorkerPool::new(&addrs).map_err(|e| e.to_string())?;
+    Ok(Some(noc_campaign::RemoteExecutor::new(pool, retries)))
+}
+
 /// The spans sidecar next to a campaign checkpoint: one `epoch` span per
 /// completed epoch, appended as each epoch checkpoints so `campaign
 /// status` can report wall time and throughput without re-running.
@@ -940,13 +1017,34 @@ fn append_span(path: &std::path::Path, span: &Span) {
     }
 }
 
+/// Prints one epoch row of the campaign trajectory table.
+fn print_epoch_row(report: &noc_campaign::EpochReport) {
+    println!(
+        "{:>5} {:>10} {:>7} {:>16x} {:>12.4} {:>9.4}",
+        report.index,
+        report.end_cycle,
+        report.drain_cycles,
+        report.digest,
+        report.max_delta_vth_mv,
+        report.worst_delay_degradation_percent
+    );
+}
+
 /// Runs every remaining epoch, checkpointing after each one, and prints
 /// the per-epoch aging trajectory plus the final chained digest — the
 /// witness the kill-and-resume smoke test diffs.
+///
+/// With a `remote` executor the epochs run as served jobs on the worker
+/// pool instead of this thread, and the checkpoint doubles as the
+/// coordination log: the in-flight dispatch is checkpointed *before* the
+/// job leaves, and cleared (with the epoch's outcome folded in) after —
+/// so a kill at any moment leaves either a completed epoch or a visible
+/// in-flight entry for the resume path to re-dispatch.
 fn run_epochs(
     campaign: &mut noc_campaign::Campaign,
     store: Option<&noc_campaign::FsResultStore>,
     checkpoint: &std::path::Path,
+    remote: Option<&noc_campaign::RemoteExecutor>,
 ) -> Result<(), String> {
     println!(
         "{:>5} {:>10} {:>7} {:>16} {:>12} {:>9}",
@@ -954,11 +1052,49 @@ fn run_epochs(
     );
     let spans_path = campaign_spans_path(checkpoint);
     let anchor = profclock::now();
+    // A remote resume first folds in epochs some worker already filed in
+    // the shared result store — no re-simulation, no worker contact.
+    if remote.is_some() {
+        if let Some(shared) = store {
+            let recovered = noc_campaign::recover_from_store(campaign, shared)
+                .map_err(|e| e.to_string())?;
+            if !recovered.is_empty() {
+                campaign.clear_dispatch();
+                campaign.save(checkpoint).map_err(|e| e.to_string())?;
+                eprintln!(
+                    "recovered {} epoch(s) from the shared result store",
+                    recovered.len()
+                );
+                for report in &recovered {
+                    print_epoch_row(report);
+                }
+            }
+        }
+    }
     while !campaign.is_finished() {
         let start_us = profclock::us_since(anchor);
-        let report = campaign
-            .run_next_epoch(store.map(|s| s as &dyn sensorwise::ResultCache))
-            .map_err(|e| e.to_string())?;
+        let index = campaign.completed();
+        let report = match remote {
+            Some(exec) => {
+                let worker = exec
+                    .planned_worker(index, 0)
+                    .unwrap_or_else(|| "-".to_string());
+                campaign.push_dispatch(noc_campaign::DispatchEntry {
+                    epoch: index,
+                    worker,
+                    attempt: 0,
+                });
+                campaign.save(checkpoint).map_err(|e| e.to_string())?;
+                let report = campaign
+                    .run_next_epoch_with(exec, store.map(|s| s as &dyn sensorwise::ResultCache))
+                    .map_err(|e| e.to_string())?;
+                campaign.clear_dispatch();
+                report
+            }
+            None => campaign
+                .run_next_epoch(store.map(|s| s as &dyn sensorwise::ResultCache))
+                .map_err(|e| e.to_string())?,
+        };
         let dur_us = profclock::us_since(anchor).saturating_sub(start_us);
         campaign.save(checkpoint).map_err(|e| e.to_string())?;
         append_span(
@@ -971,15 +1107,12 @@ fn run_epochs(
                 dur_us,
             ),
         );
-        println!(
-            "{:>5} {:>10} {:>7} {:>16x} {:>12.4} {:>9.4}",
-            report.index,
-            report.end_cycle,
-            report.drain_cycles,
-            report.digest,
-            report.max_delta_vth_mv,
-            report.worst_delay_degradation_percent
-        );
+        if let Some(exec) = remote {
+            for span in exec.drain_spans() {
+                append_span(&spans_path, &span);
+            }
+        }
+        print_epoch_row(&report);
     }
     println!("chained digest: {:016x}", campaign.chained_digest());
     Ok(())
@@ -1067,15 +1200,20 @@ fn cmd_campaign(action: &str, args: &Args) -> Result<(), String> {
         "run" => {
             let spec = campaign_spec_from_args(args)?;
             let store = open_optional_store(args)?;
+            let remote = open_optional_remote(args)?;
             let mut campaign =
                 noc_campaign::Campaign::new(spec).map_err(|e| e.to_string())?;
             eprintln!(
-                "campaign: {} epochs, age acceleration {:e}, checkpoint {}",
+                "campaign: {} epochs, age acceleration {:e}, checkpoint {}{}",
                 campaign.spec().epochs,
                 campaign.spec().age_acceleration,
-                checkpoint.display()
+                checkpoint.display(),
+                remote
+                    .as_ref()
+                    .map(|r| format!(", {} remote worker(s)", r.pool().len()))
+                    .unwrap_or_default()
             );
-            run_epochs(&mut campaign, store.as_ref(), &checkpoint)
+            run_epochs(&mut campaign, store.as_ref(), &checkpoint, remote.as_ref())
         }
         "resume" => {
             let mut campaign =
@@ -1093,8 +1231,15 @@ fn cmd_campaign(action: &str, args: &Args) -> Result<(), String> {
                 campaign.completed(),
                 campaign.spec().epochs
             );
+            for entry in campaign.dispatch_ledger() {
+                eprintln!(
+                    "in flight at checkpoint: epoch {} on {} (attempt {}) — re-dispatching",
+                    entry.epoch, entry.worker, entry.attempt
+                );
+            }
             let store = open_optional_store(args)?;
-            run_epochs(&mut campaign, store.as_ref(), &checkpoint)
+            let remote = open_optional_remote(args)?;
+            run_epochs(&mut campaign, store.as_ref(), &checkpoint, remote.as_ref())
         }
         "status" => {
             let campaign =
@@ -1135,6 +1280,15 @@ fn cmd_campaign(action: &str, args: &Args) -> Result<(), String> {
                     }
                     _ => println!("  epoch {i}: end_cycle {end} digest {digest:016x}"),
                 }
+            }
+            // Per-worker dispatch state from the checkpoint's
+            // coordination log: entries here were in flight on a remote
+            // pool when the front end last checkpointed (or died).
+            for entry in campaign.dispatch_ledger() {
+                println!(
+                    "  in flight: epoch {} on worker {} (attempt {})",
+                    entry.epoch, entry.worker, entry.attempt
+                );
             }
             if let Some(ledger) = campaign.ledger() {
                 println!("max dVth: {:.4} mV", ledger.max_delta_vth_mv());
@@ -1254,6 +1408,7 @@ subcommands:
                                            [--trace-out FILE --metrics-out FILE --sample-period N]
   sweep   gap vs injection rate            [--cores --vcs --warmup --measure --invariants --jobs]
                                            [--store DIR (memoize probes) --json]
+                                           [--remote addr1,addr2 --retries N (dispatch points to workers)]
   record  record a synthetic trace         --out FILE [--cores --rate --cycles --seed]
   replay  replay a trace under a policy    --trace FILE [--cores --vcs --policy --invariants --csv]
                                            [--trace-out FILE --metrics-out FILE --sample-period N]
@@ -1271,12 +1426,13 @@ subcommands:
                                            [--spans-out FILE (flight-recorder span dump, JSONL)]
   spans   summarize a span JSONL file      FILE [--json] (per-stage latency breakdown tree)
   submit  load-generating client           [--addr --count --concurrency --cores --vcs --rate --policy
-                                            --warmup --measure --seed --shutdown]
+                                            --warmup --measure --seed --batch --shutdown]
   campaign run     multi-epoch lifetime campaign   --checkpoint FILE [--epochs 4 --age-acceleration 1e9
                    with aging feedback              --drain-limit N --cores --vcs --rate --policy
-                                                    --warmup --measure --seed --pv-seed --store DIR]
-  campaign resume  continue from a checkpoint      --checkpoint FILE [--store DIR]
-  campaign status  inspect a checkpoint            --checkpoint FILE
+                                                    --warmup --measure --seed --pv-seed --store DIR
+                                                    --remote addr1,addr2 --retries N]
+  campaign resume  continue from a checkpoint      --checkpoint FILE [--store DIR --remote ... --retries N]
+  campaign status  inspect a checkpoint            --checkpoint FILE (shows in-flight dispatches)
   cache stats      result-store statistics         --dir DIR [--json]
   cache gc         evict oldest store entries      --dir DIR --keep N
   help    this text
@@ -1294,7 +1450,9 @@ serving: `run --json` prints the same result JSON the service returns (digest in
          `sweep --json` and `stats --json` emit machine-readable summaries in the same codec;
          `submit` cross-checks every served digest against a local run of the same spec
 campaigns: per-buffer NBTI drift carries across epochs and feeds the next epoch's sensors;
-           checkpoints (NBTICAMP v1) make resume bit-identical to an uninterrupted run
+           checkpoints (NBTICAMP v2, reads v1) make resume bit-identical to an uninterrupted run;
+           `--remote` dispatches epochs to `serve` workers sharing a `--store`/`--cache-dir` result
+           plane — digests stay bit-identical to a local run, even across a worker kill + resume
 paper tables: see `cargo run -p nbti-noc-bench --bin table2|table3|table4|...`";
 
 fn main() -> ExitCode {

@@ -460,7 +460,7 @@ fn metrics_exposition_is_prometheus_parsable_and_matches_stats() {
             entry.1 = Some(v);
         }
     }
-    assert_eq!(per_endpoint.len(), 8, "every endpoint class is exposed");
+    assert_eq!(per_endpoint.len(), 9, "every endpoint class is exposed");
     for (endpoint, (_, inf)) in &per_endpoint {
         let prefix = format!("noc_request_duration_us_count{{endpoint=\"{endpoint}\"}} ");
         let count: u64 = body
